@@ -1,0 +1,34 @@
+"""Benchmark E-A1 (ablation) — MTS route-checking interval sweep.
+
+Not a paper figure: quantifies the design choice the paper fixes at
+"every two to four seconds".  Shorter intervals probe (and hence rotate)
+routes more aggressively, which costs control packets; very long intervals
+degenerate MTS towards single-path behaviour between discoveries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import format_ablation, run_check_interval_ablation
+
+from benchmarks.conftest import single_run_config
+
+
+def test_ablation_check_interval(benchmark):
+    base = single_run_config("MTS", max_speed=10.0, seed=11)
+    intervals = (1.0, 3.0, 6.0)
+
+    results = benchmark.pedantic(
+        lambda: run_check_interval_ablation(intervals=intervals, config=base),
+        rounds=1, iterations=1)
+
+    assert set(results) == set(intervals)
+    print()
+    print(format_ablation(results, "check_interval_s"))
+
+    # More frequent checking can only add control traffic.
+    assert (results[1.0].control_by_kind.get("check", 0)
+            >= results[6.0].control_by_kind.get("check", 0))
+    # Every variant still carries the TCP session.
+    for result in results.values():
+        assert result.throughput_segments > 0
+        assert result.delivery_rate > 0.5

@@ -1,0 +1,34 @@
+"""Benchmark E-A2 (ablation) — MTS disjoint-path store size sweep.
+
+Not a paper figure: sweeps the destination's path-store cap from 1 (which
+reduces MTS to single-path routing with liveness probing) to the paper's
+5, exposing how much of the security benefit comes from having alternative
+paths available to switch to.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import format_ablation, run_max_paths_ablation
+
+from benchmarks.conftest import single_run_config
+
+
+def test_ablation_max_disjoint_paths(benchmark):
+    base = single_run_config("MTS", max_speed=10.0, seed=11)
+    values = (1, 5)
+
+    results = benchmark.pedantic(
+        lambda: run_max_paths_ablation(max_paths_values=values, config=base),
+        rounds=1, iterations=1)
+
+    assert set(results) == set(values)
+    print()
+    print(format_ablation(results, "max_disjoint_paths"))
+
+    for result in results.values():
+        assert result.throughput_segments > 0
+        assert 0.0 <= result.highest_interception_ratio <= 1.5
+    # With a larger path store the relay work is never concentrated on
+    # fewer nodes than the single-path configuration uses.
+    assert (results[5].participating_nodes
+            >= results[1].participating_nodes * 0.8)

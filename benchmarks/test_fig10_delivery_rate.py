@@ -1,0 +1,32 @@
+"""Benchmark E-F10 — Figure 10: packet delivery rate vs. speed.
+
+Paper claim: DSR's delivery rate drops markedly as node speed grows
+(cached routes go stale), while AODV and MTS stay roughly flat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import single_run_config
+
+
+def test_fig10_delivery_rate(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("DSR", max_speed=20.0)),
+        rounds=1, iterations=1)
+    assert 0.0 <= result.delivery_rate <= 1.0
+
+    series = figure_series(figure_sweep, "fig10")
+    print()
+    print(format_figure(figure_sweep, "fig10"))
+
+    # All protocols deliver most packets at the lowest speed.
+    for protocol, values in series.items():
+        assert values[0] > 0.8, protocol
+    # MTS stays robust at the highest speed (roughly flat per the paper).
+    assert series["MTS"][-1] > 0.75
+    # DSR must not *beat* MTS at the highest swept speed — its stale-cache
+    # penalty is the paper's headline observation for this figure.
+    assert series["DSR"][-1] <= series["MTS"][-1] + 0.05

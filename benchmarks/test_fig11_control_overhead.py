@@ -1,0 +1,30 @@
+"""Benchmark E-F11 — Figure 11: routing control overhead vs. speed.
+
+Paper claim: MTS has the highest control overhead (its destination keeps
+transmitting route-checking packets), AODV sits in the middle, and DSR —
+which answers most discoveries from caches — has by far the lowest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.net.packet import PacketKind
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import series_mean, single_run_config
+
+
+def test_fig11_control_overhead(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("MTS")), rounds=1, iterations=1)
+    assert result.control_overhead > 0
+    # MTS's extra overhead really is the checking traffic.
+    assert result.control_by_kind.get(PacketKind.CHECK, 0) > 0
+
+    series = figure_series(figure_sweep, "fig11")
+    print()
+    print(format_figure(figure_sweep, "fig11"))
+
+    # Qualitative shape: MTS > AODV > DSR (the paper's ordering).
+    assert series_mean(series, "MTS") > series_mean(series, "AODV")
+    assert series_mean(series, "AODV") > series_mean(series, "DSR")

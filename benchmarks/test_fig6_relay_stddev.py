@@ -1,0 +1,27 @@
+"""Benchmark E-F6 — Figure 6: standard deviation of relayed-packet shares.
+
+Paper claim: MTS has the lowest normalised relay-count standard deviation
+(no single relay dominates); DSR, which pins traffic to cached routes, has
+the highest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import series_mean, single_run_config
+
+
+def test_fig6_relay_stddev(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("MTS", max_speed=20.0)),
+        rounds=1, iterations=1)
+    assert 0.0 <= result.relay_std <= 0.5
+
+    series = figure_series(figure_sweep, "fig6")
+    print()
+    print(format_figure(figure_sweep, "fig6"))
+
+    # Qualitative shape: MTS spreads relaying at least as evenly as DSR.
+    assert series_mean(series, "MTS") <= series_mean(series, "DSR")

@@ -1,0 +1,26 @@
+"""Benchmark E-F7 — Figure 7: highest (worst-case) interception ratio.
+
+Paper claim: assuming the most heavily used relay is the eavesdropper, MTS
+leaks the smallest fraction of the session; DSR leaks the most.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import series_mean, single_run_config
+
+
+def test_fig7_highest_interception_ratio(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("DSR")), rounds=1, iterations=1)
+    assert result.highest_interception_ratio >= 0.0
+
+    series = figure_series(figure_sweep, "fig7")
+    print()
+    print(format_figure(figure_sweep, "fig7"))
+
+    # Qualitative shape: the worst-case leak under MTS is no larger than
+    # under DSR (the single-path cached protocol).
+    assert series_mean(series, "MTS") <= series_mean(series, "DSR") * 1.05

@@ -1,0 +1,29 @@
+"""Benchmark E-F9 — Figure 9: average TCP throughput vs. speed.
+
+Paper claim: MTS delivers the highest TCP throughput at every speed; DSR
+falls behind as speed (and hence cache staleness) grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_series, format_figure
+from repro.scenario.runner import run_scenario
+
+from benchmarks.conftest import series_mean, single_run_config
+
+
+def test_fig9_tcp_throughput(benchmark, figure_sweep):
+    result = benchmark.pedantic(
+        lambda: run_scenario(single_run_config("MTS")), rounds=1, iterations=1)
+    assert result.throughput_segments > 0
+
+    series = figure_series(figure_sweep, "fig9")
+    print()
+    print(format_figure(figure_sweep, "fig9"))
+
+    # Qualitative shape: MTS keeps pace with (or beats) both baselines.
+    assert series_mean(series, "MTS") >= 0.9 * series_mean(series, "AODV")
+    assert series_mean(series, "MTS") >= 0.9 * series_mean(series, "DSR")
+    # At the highest swept speed MTS must not trail DSR badly (stale caches
+    # are supposed to hurt DSR, not MTS).
+    assert series["MTS"][-1] >= 0.8 * series["DSR"][-1]

@@ -1,0 +1,38 @@
+"""Benchmark E-T1 — Table I: relay-count normalisation for one DSR run.
+
+Regenerates the paper's worked example: per-node relay counts beta, the
+total alpha, the normalised shares gamma, and their standard deviation,
+for a single DSR scenario with one TCP/FTP flow and a random eavesdropper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.metrics.relay import normalize_relay_counts
+
+from benchmarks.conftest import single_run_config
+
+
+def test_table1_relay_normalization(benchmark):
+    config = single_run_config("DSR", max_speed=10.0, seed=5)
+
+    normalization, result = benchmark.pedantic(
+        lambda: run_table1(config), rounds=1, iterations=1)
+
+    # The walkthrough must describe a real multi-hop session.
+    assert normalization.participating >= 2
+    assert normalization.alpha == sum(result.relay_counts.values())
+    assert abs(sum(normalization.gamma.values()) - 1.0) < 1e-9
+    assert 0.0 <= normalization.std <= 0.5
+
+    # Table layout matches the paper: node rows then the alpha/std footer.
+    text = format_table1(normalization)
+    assert "TABLE I" in text and "alpha" in text
+
+    # ddof consistency documented in the metrics module: the sample form is
+    # never smaller than the population form used in Equation 4.
+    sample = normalize_relay_counts(result.relay_counts, ddof=1)
+    assert sample.std >= normalization.std
+
+    print()
+    print(text)

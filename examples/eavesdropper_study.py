@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Eavesdropper study: how much of a TCP session can one passive node see?
+
+The scenario the paper's introduction motivates: an uncoordinated ad hoc
+network where one ordinary-looking relay records every data frame it can
+decode.  This example runs the same mobile topology under DSR, AODV and
+MTS with the *same* eavesdropper placement and compares what the attacker
+obtained, both for the random placement and for the worst-case placement
+(the busiest relay).
+
+Usage::
+
+    python examples/eavesdropper_study.py [--speed 10] [--sim-time 40]
+                                          [--seeds 3] [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.scenario import ScenarioConfig, run_scenario
+
+
+def run_for_protocol(protocol: str, speed: float, sim_time: float,
+                     seed: int, paper_scale: bool):
+    if paper_scale:
+        config = ScenarioConfig.paper_default(protocol=protocol,
+                                              max_speed=speed, seed=seed)
+    else:
+        config = ScenarioConfig.paper_default(protocol=protocol,
+                                              max_speed=speed, seed=seed,
+                                              sim_time=sim_time)
+    return run_scenario(config)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--speed", type=float, default=10.0)
+    parser.add_argument("--sim-time", type=float, default=40.0)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of independent seeds to average over")
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+
+    protocols = ["DSR", "AODV", "MTS"]
+    print(f"Passive eavesdropper study | speed {args.speed} m/s | "
+          f"{args.seeds} seed(s)\n")
+    header = (f"{'protocol':>9} {'seed':>5} {'Pe':>6} {'Pr':>6} "
+              f"{'intercept':>10} {'worst-case':>11} {'particip.':>10} "
+              f"{'relay-std':>10}")
+    print(header)
+    summary = {protocol: [] for protocol in protocols}
+    for seed in range(1, args.seeds + 1):
+        for protocol in protocols:
+            result = run_for_protocol(protocol, args.speed, args.sim_time,
+                                      seed, args.paper_scale)
+            print(f"{protocol:>9} {seed:>5} {result.packets_eavesdropped:>6} "
+                  f"{result.packets_received:>6} "
+                  f"{result.interception_ratio:>10.3f} "
+                  f"{result.highest_interception_ratio:>11.3f} "
+                  f"{result.participating_nodes:>10} "
+                  f"{result.relay_std:>10.4f}")
+            summary[protocol].append(result)
+    print("\nAverages over seeds:")
+    for protocol in protocols:
+        results = summary[protocol]
+        n = len(results)
+        print(f"  {protocol:>5}: interception "
+              f"{sum(r.interception_ratio for r in results) / n:.3f}, "
+              f"worst-case "
+              f"{sum(r.highest_interception_ratio for r in results) / n:.3f}, "
+              f"participating nodes "
+              f"{sum(r.participating_nodes for r in results) / n:.1f}")
+    print("\nExpected shape (paper §IV): MTS spreads traffic over the most "
+          "relays and yields the lowest worst-case interception; DSR "
+          "concentrates traffic on a few cached routes and leaks the most.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Reproduce every figure and table of the paper's evaluation section.
+
+Runs the speed sweep (protocols × maximum speeds × replications), then
+prints one text table per figure (5–11) plus the Table I relay
+normalisation walkthrough.  Three profiles are available:
+
+* ``--profile smoke`` — a couple of minutes; sanity check only.
+* ``--profile bench`` — the default; scaled-down runs (25 s, 1 rep,
+  3 speeds) whose protocol ordering matches the full configuration.
+* ``--profile paper`` — the full §IV-A grid (200 s × 5 reps × 5 speeds
+  × 3 protocols); expect several hours of wall-clock time.
+
+Usage::
+
+    python examples/reproduce_figures.py --profile bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    FIGURES,
+    SweepSettings,
+    format_figure,
+    format_table1,
+    run_speed_sweep,
+    run_table1,
+)
+from repro.scenario import ScenarioConfig
+
+
+def build_settings(profile: str) -> SweepSettings:
+    if profile == "paper":
+        return SweepSettings.paper()
+    if profile == "bench":
+        return SweepSettings.bench()
+    if profile == "smoke":
+        return SweepSettings.smoke()
+    raise ValueError(f"unknown profile {profile!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="bench",
+                        choices=["smoke", "bench", "paper"])
+    parser.add_argument("--skip-table1", action="store_true",
+                        help="skip the Table I walkthrough run")
+    args = parser.parse_args()
+
+    settings = build_settings(args.profile)
+    total_runs = (len(settings.protocols) * len(settings.speeds)
+                  * settings.replications)
+    print(f"Profile {args.profile}: {len(settings.protocols)} protocols × "
+          f"{len(settings.speeds)} speeds × {settings.replications} "
+          f"replication(s) = {total_runs} runs "
+          f"({settings.config_overrides.get('sim_time')} simulated s each)\n")
+
+    started = time.time()
+    completed = [0]
+
+    def progress(protocol, speed, replication, result):
+        completed[0] += 1
+        elapsed = time.time() - started
+        print(f"  [{completed[0]:>3}/{total_runs}] {protocol:<5} "
+              f"speed={speed:<4g} rep={replication} "
+              f"throughput={result.throughput_segments:<5} "
+              f"delay={result.mean_delay * 1000:6.1f} ms "
+              f"({elapsed:6.1f} s elapsed)", flush=True)
+
+    sweep = run_speed_sweep(settings, progress=progress)
+
+    print("\n" + "=" * 72)
+    for figure_id in sorted(FIGURES):
+        print()
+        print(format_figure(sweep, figure_id))
+
+    if not args.skip_table1:
+        print("\n" + "=" * 72)
+        table_config = ScenarioConfig(
+            protocol="DSR",
+            n_nodes=settings.config_overrides.get("n_nodes", 50),
+            field_size=settings.config_overrides.get("field_size",
+                                                     (1000.0, 1000.0)),
+            max_speed=10.0,
+            sim_time=settings.config_overrides.get("sim_time", 30.0),
+            seed=5,
+        )
+        normalization, _ = run_table1(table_config)
+        print()
+        print(format_table1(normalization))
+
+    print(f"\nTotal wall-clock time: {time.time() - started:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Applications driving the transport agents.
+
+* :class:`~repro.apps.ftp.FtpApplication` — bulk transfer over TCP with an
+  unlimited backlog (the paper's traffic source).
+* :class:`~repro.apps.cbr.CbrApplication` — constant-bit-rate datagrams
+  over UDP, used by auxiliary experiments and tests.
+"""
+
+from repro.apps.ftp import FtpApplication
+from repro.apps.cbr import CbrApplication
+
+__all__ = ["FtpApplication", "CbrApplication"]

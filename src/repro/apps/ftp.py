@@ -1,0 +1,74 @@
+"""FTP — bulk transfer application over TCP.
+
+NS-2's ``Application/FTP`` simply keeps its TCP agent's send backlog
+non-empty; the TCP congestion window is then the only thing limiting the
+sending rate.  The paper's simulations attach FTP to a TCP Reno source, so
+this is the application used by every scenario and benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.transport.tcp_reno import TcpRenoSender
+
+
+class FtpApplication:
+    """Bulk-transfer application bound to a TCP Reno sender.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine (used to schedule the start/stop times).
+    tcp:
+        The TCP Reno sender this application drives.
+    start_time:
+        When to begin the transfer (seconds).
+    stop_time:
+        Optional time to stop offering data; ``None`` transfers forever.
+    total_bytes:
+        Optional finite transfer size; ``None`` means unlimited (classic
+        FTP-forever, which the paper uses).
+    """
+
+    def __init__(self, sim: "Simulator", tcp: "TcpRenoSender",
+                 start_time: float = 0.0, stop_time: Optional[float] = None,
+                 total_bytes: Optional[int] = None):
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if stop_time is not None and stop_time < start_time:
+            raise ValueError("stop_time must not precede start_time")
+        self.sim = sim
+        self.tcp = tcp
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.total_bytes = total_bytes
+        self.started = False
+        self.stopped = False
+
+        tcp.node.add_application(self)
+        sim.schedule_at(start_time, self._start)
+        if stop_time is not None:
+            sim.schedule_at(stop_time, self._stop)
+
+    # ------------------------------------------------------------------ #
+    def _start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        if self.total_bytes is None:
+            self.tcp.start()
+        else:
+            self.tcp.send_bytes(self.total_bytes)
+
+    def _stop(self) -> None:
+        if self.stopped:
+            return
+        self.stopped = True
+        self.tcp.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<FtpApplication tcp={self.tcp.node.node_id}->"
+                f"{self.tcp.dst} start={self.start_time}>")

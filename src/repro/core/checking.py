@@ -1,0 +1,107 @@
+"""Route-checking bookkeeping for MTS (paper §III-D and §III-E).
+
+Two small state machines live here so they can be unit-tested without a
+full simulator:
+
+* :class:`CheckingState` — destination-side: owns the checking round
+  counter for one protected flow and decides, each period, which stored
+  paths receive a checking packet.
+* :class:`SourceRouteSelector` — source-side: tracks the newest checking
+  round seen and switches the active path to the *first* checking packet
+  of each round ("the route of the first arrived checking packet used is
+  considered the best").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass
+class CheckingState:
+    """Destination-side checking round counter for one flow.
+
+    Attributes
+    ----------
+    check_id:
+        Identifier of the most recently emitted round; incremented once
+        per round regardless of how many paths were probed (the paper:
+        "Whenever the five checking packets are sent out concurrently, the
+        checking packet ID is increased by one").
+    rounds_emitted:
+        Total number of rounds emitted so far.
+    packets_emitted:
+        Total checking packets emitted (sum over rounds of paths probed).
+    """
+
+    check_id: int = 0
+    rounds_emitted: int = 0
+    packets_emitted: int = 0
+
+    def next_round(self, paths: Sequence[Sequence[int]]) -> Tuple[int, List[List[int]]]:
+        """Begin a new checking round over ``paths``.
+
+        Returns the new round id and the list of paths to probe.  An empty
+        path list emits nothing and does not consume a round id.
+        """
+        probe = [list(p) for p in paths if len(p) >= 2]
+        if not probe:
+            return self.check_id, []
+        self.check_id += 1
+        self.rounds_emitted += 1
+        self.packets_emitted += len(probe)
+        return self.check_id, probe
+
+
+@dataclasses.dataclass
+class SourceRouteSelector:
+    """Source-side active-route selection state for one destination.
+
+    The active path is replaced by the path carried by the first checking
+    packet of a round newer than any seen so far.  Route replies and fresh
+    discoveries also install the active path directly.
+    """
+
+    active_path: Optional[Tuple[int, ...]] = None
+    #: Newest checking round for which a packet has been accepted.
+    last_check_id: int = -1
+    #: Simulation time of the last active-path change.
+    last_change_time: float = 0.0
+    #: Number of times the active path changed due to a checking packet.
+    switches_from_check: int = 0
+    #: Number of times the active path was set by a route reply/discovery.
+    installs_from_rrep: int = 0
+
+    def install_from_reply(self, path: Sequence[int], now: float) -> None:
+        """Adopt ``path`` because a route reply (or discovery) provided it."""
+        self.active_path = tuple(path)
+        self.last_change_time = now
+        self.installs_from_rrep += 1
+
+    def offer_check(self, path: Sequence[int], check_id: int, now: float) -> bool:
+        """Offer a checking packet's path to the selector.
+
+        Returns True when the offer was accepted (first packet of a new
+        round) and the active path switched/confirmed; later packets of
+        the same round — and stale rounds — are ignored.
+        """
+        if check_id <= self.last_check_id:
+            return False
+        self.last_check_id = check_id
+        new_path = tuple(path)
+        if new_path != self.active_path:
+            self.switches_from_check += 1
+            self.last_change_time = now
+        self.active_path = new_path
+        return True
+
+    def clear(self, now: float) -> None:
+        """Forget the active path (e.g. after a route error)."""
+        self.active_path = None
+        self.last_change_time = now
+
+    @property
+    def has_route(self) -> bool:
+        """Whether an active path is currently installed."""
+        return self.active_path is not None

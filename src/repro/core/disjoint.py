@@ -1,0 +1,72 @@
+"""Disjoint-path predicates used by MTS (paper §III-C).
+
+The destination accepts an additional path only when it differs from every
+already-stored path in *both* its first hop (the neighbour of the source)
+and its last hop (the neighbour of the destination).  Because intermediate
+nodes relay only the first copy of each route request, the interiors of
+two accepted paths are automatically disjoint; the endpoint-hops rule is
+what rules out the ``S-a-b-D`` / ``S-a-b-c-D`` overlap the paper
+illustrates in Figure 3.
+
+Paths are sequences of node ids from the source to the destination,
+inclusive of both endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def is_valid_path(path: Sequence[int]) -> bool:
+    """A usable path has >= 2 nodes and no repeated node (loop free)."""
+    return len(path) >= 2 and len(set(path)) == len(path)
+
+
+def first_hop(path: Sequence[int]) -> int:
+    """The node adjacent to the source on ``path``.
+
+    For a single-hop path (source and destination are neighbours) this is
+    the destination itself.
+    """
+    if len(path) < 2:
+        raise ValueError("a path needs at least two nodes")
+    return path[1]
+
+
+def last_hop(path: Sequence[int]) -> int:
+    """The node adjacent to the destination on ``path``.
+
+    For a single-hop path this is the source itself.
+    """
+    if len(path) < 2:
+        raise ValueError("a path needs at least two nodes")
+    return path[-2]
+
+
+def differ_in_first_and_last_hop(path_a: Sequence[int],
+                                 path_b: Sequence[int]) -> bool:
+    """The paper's acceptance rule (borrowed from AOMDV).
+
+    Two paths between the same endpoints are considered disjoint when
+    their first hops differ *and* their last hops differ.  Identical paths
+    trivially fail the rule.
+    """
+    if list(path_a) == list(path_b):
+        return False
+    return (first_hop(path_a) != first_hop(path_b)
+            and last_hop(path_a) != last_hop(path_b))
+
+
+def are_node_disjoint(path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+    """Strict node-disjointness: no shared nodes besides the endpoints.
+
+    Stronger than the paper's rule; offered for analysis and for the
+    ``strict_disjoint`` MTS configuration ablation.
+    """
+    if len(path_a) < 2 or len(path_b) < 2:
+        return False
+    interior_a = set(path_a[1:-1])
+    interior_b = set(path_b[1:-1])
+    if interior_a & interior_b:
+        return False
+    return list(path_a) != list(path_b)

@@ -1,0 +1,522 @@
+"""The MTS (Multipath TCP Security) routing agent.
+
+This module implements the protocol of paper §III on top of the common
+:class:`~repro.routing.base.RoutingAgent` machinery:
+
+* **Route discovery** (§III-B): the source floods a RREQ carrying an
+  accumulated node list.  Intermediate nodes forward only the first copy
+  of each flood and never reply from a cache.  The destination answers the
+  first copy immediately with a RREP unicast back along the (reversed)
+  accumulated path and silently stores the paths of later copies.
+* **Disjoint path storage** (§III-C): the destination keeps at most
+  ``max_disjoint_paths`` (five) paths that pairwise differ in first and
+  last hop, flushing them all whenever a fresher discovery (larger
+  broadcast id) arrives.
+* **Route checking** (§III-D): every ``check_interval`` seconds the
+  destination unicasts one checking packet down each stored path; all
+  packets of a round share a checking id.  A node that cannot forward a
+  checking packet reports a checking error back to the destination, which
+  deletes the failed path.
+* **Adaptive route switching** (§III-E): the source adopts the path of the
+  *first* checking packet it receives in each round — the currently
+  fastest path — as its active route.  MAC-level failures on the data path
+  produce a route error back to the source, which clears its active route
+  and starts a fresh discovery.
+
+Data packets carry an explicit source route (the active path), so
+intermediate nodes need no per-flow forwarding state and the source's
+choice of route takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.addressing import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.routing.base import RoutingAgent, RoutingConfig
+from repro.routing.packets import (
+    RREQ_KEY, RREP_KEY, RERR_KEY, SRCROUTE_KEY, CHECK_KEY, CHECK_ERR_KEY,
+    RreqHeader, RrepHeader, RerrHeader, SourceRouteHeader,
+    CheckHeader, CheckErrHeader,
+    RREQ_BASE_SIZE, RREP_BASE_SIZE, RERR_BASE_SIZE, CHECK_BASE_SIZE,
+    control_packet_size,
+)
+from repro.core.paths import PathSet
+from repro.core.checking import CheckingState, SourceRouteSelector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class MtsConfig(RoutingConfig):
+    """MTS parameters (paper §III and §IV-A).
+
+    Attributes
+    ----------
+    max_disjoint_paths:
+        Maximum disjoint paths stored at the destination (paper: 5).
+    check_interval:
+        Period of the destination's route-checking packets in seconds
+        (the paper recommends 2–4 s; default 3 s).
+    strict_node_disjoint:
+        Use strict node-disjointness instead of the paper's first/last-hop
+        rule (ablation knob; default off = paper behaviour).
+    flow_idle_timeout:
+        Stop emitting checking packets for a flow that has seen no data or
+        discovery activity for this long; checking resumes when activity
+        returns.
+    flood_cache_timeout:
+        Lifetime of duplicate-RREQ cache entries.
+    """
+
+    max_disjoint_paths: int = 5
+    check_interval: float = 3.0
+    strict_node_disjoint: bool = False
+    flow_idle_timeout: float = 60.0
+    flood_cache_timeout: float = 10.0
+
+
+@dataclasses.dataclass
+class DestinationFlowState:
+    """Destination-side state for one protected flow (one source node)."""
+
+    origin: int
+    path_set: PathSet
+    checking: CheckingState = dataclasses.field(default_factory=CheckingState)
+    timer: Optional[object] = None
+    last_activity: float = 0.0
+
+
+class MtsAgent(RoutingAgent):
+    """MTS routing agent for one node."""
+
+    PROTOCOL_NAME = "MTS"
+
+    def __init__(self, sim: "Simulator", node: "Node",
+                 config: Optional[MtsConfig] = None,
+                 metrics: Optional["MetricsCollector"] = None):
+        config = config or MtsConfig()
+        super().__init__(sim, node, config, metrics)
+        self.config: MtsConfig = config
+
+        #: Source-side: per-destination active-route selectors.
+        self.selectors: Dict[int, SourceRouteSelector] = {}
+        #: Destination-side: per-origin flow state (paths + checking).
+        self.flows: Dict[int, DestinationFlowState] = {}
+        #: Intermediate-node cache of the freshest checking id seen per
+        #: destination ("entry ID" in the paper §III-D); informational.
+        self.check_entries: Dict[int, int] = {}
+
+        self.broadcast_id: int = 0
+        self.own_seq: int = 0
+        self._reply_id: int = 0
+        self._seen_rreqs: Dict[tuple, float] = {}
+        self._discoveries: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # source-side helpers
+    # ------------------------------------------------------------------ #
+    def selector_for(self, dst: int) -> SourceRouteSelector:
+        """Return (creating if needed) the route selector for ``dst``."""
+        selector = self.selectors.get(dst)
+        if selector is None:
+            selector = SourceRouteSelector()
+            self.selectors[dst] = selector
+        return selector
+
+    def active_path_to(self, dst: int) -> Optional[List[int]]:
+        """The currently active path to ``dst`` (or ``None``)."""
+        selector = self.selectors.get(dst)
+        if selector is None or selector.active_path is None:
+            return None
+        return list(selector.active_path)
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def _route_data(self, packet: Packet, originated: bool) -> None:
+        if originated or packet.src == self.node_id:
+            self._originate_data(packet)
+        else:
+            self._forward_data(packet)
+
+    def _originate_data(self, packet: Packet) -> None:
+        selector = self.selector_for(packet.dst)
+        if not selector.has_route:
+            self.buffer_packet(packet)
+            self._start_discovery(packet.dst)
+            return
+        path = list(selector.active_path)
+        header = SourceRouteHeader(path=path, index=0)
+        packet.set_header(SRCROUTE_KEY, header)
+        self.send_data(packet, header.next_hop())
+
+    def _forward_data(self, packet: Packet) -> None:
+        header: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if header is None or self.node_id not in header.path:
+            self.drop_no_route(packet)
+            return
+        header.index = header.path.index(self.node_id)
+        if header.remaining_hops() <= 0:
+            self.drop_no_route(packet)
+            return
+        self.send_data(packet, header.next_hop())
+
+    def deliver_locally(self, packet: Packet) -> None:
+        # Data arriving from a protected source keeps its checking alive.
+        flow = self.flows.get(packet.src)
+        if flow is not None:
+            flow.last_activity = self.sim.now
+            self._ensure_checking_timer(flow)
+        super().deliver_locally(packet)
+
+    # ------------------------------------------------------------------ #
+    # route discovery
+    # ------------------------------------------------------------------ #
+    def _start_discovery(self, dst: int) -> None:
+        if dst in self._discoveries:
+            return
+        state = {"retries": 0, "timer": None}
+        self._discoveries[dst] = state
+        self._send_rreq(dst, state)
+
+    def _send_rreq(self, dst: int, state: dict) -> None:
+        self.broadcast_id += 1
+        self.own_seq += 1
+        header = RreqHeader(origin=self.node_id, target=dst,
+                            broadcast_id=self.broadcast_id,
+                            origin_seq=self.own_seq, hop_count=0,
+                            path=[self.node_id])
+        packet = Packet(kind=PacketKind.RREQ, src=self.node_id, dst=dst,
+                        size=control_packet_size(RREQ_BASE_SIZE, 1),
+                        ttl=self.config.net_diameter_ttl,
+                        timestamp=self.sim.now)
+        packet.set_header(RREQ_KEY, header)
+        self._seen_rreqs[header.flood_key()] = self.sim.now
+        self.send_control(packet, BROADCAST)
+        timeout = self.config.discovery_timeout * (2 ** state["retries"])
+        state["timer"] = self.sim.schedule(timeout, self._discovery_timeout, dst)
+
+    def _discovery_timeout(self, dst: int) -> None:
+        state = self._discoveries.get(dst)
+        if state is None:
+            return
+        if self.selector_for(dst).has_route:
+            self._finish_discovery(dst)
+            return
+        state["retries"] += 1
+        if state["retries"] > self.config.max_rreq_retries:
+            del self._discoveries[dst]
+            self.drop_buffered(dst)
+            return
+        self._send_rreq(dst, state)
+
+    def _finish_discovery(self, dst: int) -> None:
+        state = self._discoveries.pop(dst, None)
+        if state is not None and state["timer"] is not None:
+            state["timer"].cancel()
+        for packet in self.flush_buffer(dst):
+            self._originate_data(packet)
+
+    # ------------------------------------------------------------------ #
+    # RREQ / RREP handling
+    # ------------------------------------------------------------------ #
+    def _handle_rreq(self, packet: Packet, prev_hop: int) -> None:
+        header: RreqHeader = packet.get_header(RREQ_KEY)
+        if self.node_id in header.path:
+            return  # loop
+
+        if header.target == self.node_id:
+            self._destination_handle_rreq(header)
+            return
+
+        key = header.flood_key()
+        if key in self._seen_rreqs:
+            return  # intermediate nodes relay only the first copy
+        self._seen_rreqs[key] = self.sim.now
+        self._expire_flood_cache()
+
+        if packet.ttl <= 1:
+            return
+        forwarded = packet.copy()
+        forwarded.ttl -= 1
+        fwd_header: RreqHeader = forwarded.get_header(RREQ_KEY)
+        fwd_header.hop_count += 1
+        fwd_header.path.append(self.node_id)
+        forwarded.size = control_packet_size(RREQ_BASE_SIZE, len(fwd_header.path))
+        self.send_control(forwarded, BROADCAST)
+
+    def _destination_handle_rreq(self, header: RreqHeader) -> None:
+        """Destination-side RREQ processing (paper §III-B/C)."""
+        flow = self.flows.get(header.origin)
+        if flow is None:
+            flow = DestinationFlowState(
+                origin=header.origin,
+                path_set=PathSet(self.config.max_disjoint_paths,
+                                 self.config.strict_node_disjoint),
+                last_activity=self.sim.now,
+            )
+            self.flows[header.origin] = flow
+        flow.last_activity = self.sim.now
+
+        full_path = list(header.path) + [self.node_id]
+        is_new_discovery = header.broadcast_id > flow.path_set.current_broadcast_id
+        flow.path_set.try_add(full_path, self.sim.now, header.broadcast_id)
+
+        if is_new_discovery:
+            # First copy of a fresh flood: reply immediately, no waiting.
+            self.own_seq = max(self.own_seq, header.target_seq) + 1
+            self._send_rrep(full_path, origin=header.origin)
+        self._ensure_checking_timer(flow)
+
+    def _send_rrep(self, full_path: List[int], origin: int) -> None:
+        return_path = list(reversed(full_path))
+        if len(return_path) < 2:
+            return
+        self._reply_id += 1
+        header = RrepHeader(origin=origin, target=self.node_id,
+                            reply_id=self._reply_id, target_seq=self.own_seq,
+                            hop_count=0, path=list(full_path))
+        packet = Packet(kind=PacketKind.RREP, src=self.node_id, dst=origin,
+                        size=control_packet_size(RREP_BASE_SIZE, len(full_path)),
+                        ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        packet.set_header(RREP_KEY, header)
+        packet.set_header(SRCROUTE_KEY,
+                          SourceRouteHeader(path=return_path, index=0))
+        self.send_control(packet, return_path[1])
+
+    def _handle_rrep(self, packet: Packet, prev_hop: int) -> None:
+        header: RrepHeader = packet.get_header(RREP_KEY)
+        if header.origin == self.node_id:
+            selector = self.selector_for(header.target)
+            selector.install_from_reply(header.path, self.sim.now)
+            self._finish_discovery(header.target)
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None or self.node_id not in route.path:
+            return
+        route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        header.hop_count += 1
+        self.send_control(packet.copy(), route.next_hop())
+
+    # ------------------------------------------------------------------ #
+    # route checking (destination side)
+    # ------------------------------------------------------------------ #
+    def _ensure_checking_timer(self, flow: DestinationFlowState) -> None:
+        if flow.timer is None:
+            flow.timer = self.sim.schedule(self.config.check_interval,
+                                           self._checking_round, flow.origin)
+
+    def _checking_round(self, origin: int) -> None:
+        flow = self.flows.get(origin)
+        if flow is None:
+            return
+        flow.timer = None
+        idle = self.sim.now - flow.last_activity
+        if idle > self.config.flow_idle_timeout:
+            return  # dormant flow: stop probing until activity resumes
+        check_id, probe_paths = flow.checking.next_round(flow.path_set.paths())
+        # The paper sends the round's checking packets "concurrently"; emit
+        # them in random order so no stored path gets a systematic head
+        # start in the source's first-arrival race.
+        if len(probe_paths) > 1:
+            order = self.sim.rng("mts.check").permutation(len(probe_paths))
+            probe_paths = [probe_paths[i] for i in order]
+        for path in probe_paths:
+            record = flow.path_set.find(path)
+            if record is not None:
+                record.checks_sent += 1
+            self._send_check(origin, path, check_id)
+        self._ensure_checking_timer(flow)
+
+    def _send_check(self, origin: int, path: List[int], check_id: int) -> None:
+        return_path = list(reversed(path))
+        if len(return_path) < 2:
+            return
+        header = CheckHeader(check_id=check_id, origin=origin,
+                             target=self.node_id, path=list(path), hop_count=0)
+        packet = Packet(kind=PacketKind.CHECK, src=self.node_id, dst=origin,
+                        size=control_packet_size(CHECK_BASE_SIZE, len(path)),
+                        ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        packet.set_header(CHECK_KEY, header)
+        packet.set_header(SRCROUTE_KEY,
+                          SourceRouteHeader(path=return_path, index=0))
+        self.send_control(packet, return_path[1])
+
+    def _handle_check(self, packet: Packet, prev_hop: int) -> None:
+        header: CheckHeader = packet.get_header(CHECK_KEY)
+        if header.origin == self.node_id:
+            # We are the protected source: adopt the fastest path this round.
+            selector = self.selector_for(header.target)
+            accepted = selector.offer_check(header.path, header.check_id,
+                                            self.sim.now)
+            if accepted and self.buffered_count(header.target) > 0:
+                self._finish_discovery(header.target)
+            return
+        # Intermediate node: remember the freshest checking id for this
+        # destination (the paper's "entry ID"), then forward.
+        self.check_entries[header.target] = max(
+            self.check_entries.get(header.target, -1), header.check_id)
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None or self.node_id not in route.path:
+            return
+        route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        header.hop_count += 1
+        self.send_control(packet.copy(), route.next_hop())
+
+    def _send_check_error(self, check_header: CheckHeader,
+                          traversed_reverse: List[int], broken_link) -> None:
+        """Report a failed checking path back to the destination."""
+        target = check_header.target
+        if target == self.node_id:
+            flow = self.flows.get(check_header.origin)
+            if flow is not None:
+                record = flow.path_set.find(check_header.path)
+                if record is not None:
+                    record.check_failures += 1
+                flow.path_set.remove(check_header.path)
+            return
+        if len(traversed_reverse) < 2:
+            return
+        header = CheckErrHeader(check_id=check_header.check_id,
+                                reporter=self.node_id, target=target,
+                                failed_path=list(check_header.path),
+                                broken_link=broken_link)
+        packet = Packet(kind=PacketKind.CHECK_ERR, src=self.node_id,
+                        dst=target,
+                        size=control_packet_size(CHECK_BASE_SIZE,
+                                                  len(check_header.path)),
+                        ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        packet.set_header(CHECK_ERR_KEY, header)
+        packet.set_header(SRCROUTE_KEY,
+                          SourceRouteHeader(path=traversed_reverse, index=0))
+        self.send_control(packet, traversed_reverse[1])
+
+    def _handle_check_err(self, packet: Packet, prev_hop: int) -> None:
+        header: CheckErrHeader = packet.get_header(CHECK_ERR_KEY)
+        if header.target == self.node_id:
+            origin = header.failed_path[0] if header.failed_path else None
+            flow = self.flows.get(origin) if origin is not None else None
+            if flow is not None:
+                record = flow.path_set.find(header.failed_path)
+                if record is not None:
+                    record.check_failures += 1
+                flow.path_set.remove(header.failed_path)
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None or self.node_id not in route.path:
+            return
+        route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        self.send_control(packet.copy(), route.next_hop())
+
+    # ------------------------------------------------------------------ #
+    # route errors (data path failures)
+    # ------------------------------------------------------------------ #
+    def _send_rerr_to_source(self, packet: Packet, broken_link) -> None:
+        origin = packet.src
+        if origin == self.node_id:
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        return_path = None
+        if route is not None and self.node_id in route.path:
+            my_index = route.path.index(self.node_id)
+            candidate = list(reversed(route.path[:my_index + 1]))
+            if len(candidate) >= 2:
+                return_path = candidate
+        if return_path is None:
+            return
+        header = RerrHeader(reporter=self.node_id, broken_link=broken_link,
+                            target_origin=origin)
+        rerr = Packet(kind=PacketKind.RERR, src=self.node_id, dst=origin,
+                      size=control_packet_size(RERR_BASE_SIZE, 2),
+                      ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        rerr.set_header(RERR_KEY, header)
+        rerr.set_header(SRCROUTE_KEY,
+                        SourceRouteHeader(path=return_path, index=0))
+        self.send_control(rerr, return_path[1])
+
+    def _handle_rerr(self, packet: Packet, prev_hop: int) -> None:
+        header: RerrHeader = packet.get_header(RERR_KEY)
+        if header.target_origin == self.node_id:
+            # Our active path broke: forget it and re-discover immediately.
+            for dst, selector in self.selectors.items():
+                if selector.active_path and self._path_uses_link(
+                        selector.active_path, header.broken_link):
+                    selector.clear(self.sim.now)
+                    self._start_discovery(dst)
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None or self.node_id not in route.path:
+            return
+        route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        self.send_control(packet.copy(), route.next_hop())
+
+    @staticmethod
+    def _path_uses_link(path, broken_link) -> bool:
+        a, b = broken_link
+        return any((u, v) == (a, b) or (u, v) == (b, a)
+                   for u, v in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------ #
+    # MAC link-failure feedback
+    # ------------------------------------------------------------------ #
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        broken_link = (self.node_id, next_hop)
+
+        # Destination-side: any stored path using the broken link is stale.
+        for flow in self.flows.values():
+            flow.path_set.remove_containing_link(*broken_link)
+
+        if packet.kind == PacketKind.CHECK:
+            check_header: CheckHeader = packet.get_header(CHECK_KEY)
+            route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+            traversed_reverse: List[int] = []
+            if route is not None and self.node_id in route.path:
+                my_index = route.path.index(self.node_id)
+                traversed_reverse = list(reversed(route.path[:my_index + 1]))
+            self._send_check_error(check_header, traversed_reverse, broken_link)
+            return
+
+        if packet.is_data:
+            if packet.src == self.node_id:
+                selector = self.selector_for(packet.dst)
+                if (selector.active_path
+                        and self._path_uses_link(selector.active_path, broken_link)):
+                    selector.clear(self.sim.now)
+                self.buffer_packet(packet)
+                self._start_discovery(packet.dst)
+                # Re-buffer any queued packets that would chase the dead hop.
+                if self.node.queue is not None:
+                    stranded = self.node.queue.remove_matching(
+                        lambda p: (p.mac_dst == next_hop and p.is_data
+                                   and p.src == self.node_id))
+                    for waiting in stranded:
+                        self.buffer_packet(waiting)
+            else:
+                self._send_rerr_to_source(packet, broken_link)
+                self.drop_no_route(packet)
+                if self.node.queue is not None:
+                    self.node.queue.remove_matching(
+                        lambda p: p.mac_dst == next_hop and p.is_data)
+            return
+        # Control packets (RREP/RERR/CHECK_ERR): nothing to salvage.
+
+    # ------------------------------------------------------------------ #
+    def _expire_flood_cache(self) -> None:
+        deadline = self.sim.now - self.config.flood_cache_timeout
+        if len(self._seen_rreqs) > 256:
+            self._seen_rreqs = {k: t for k, t in self._seen_rreqs.items()
+                                if t >= deadline}

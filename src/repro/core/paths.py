@@ -1,0 +1,163 @@
+"""Destination-side disjoint path store for MTS.
+
+The destination of a protected flow keeps up to ``max_paths`` (paper: 5)
+paths from the source to itself.  Paths are added as route-request copies
+arrive (subject to the disjointness rule), removed when a checking packet
+bounces (checking error) and flushed wholesale when a new route discovery
+from the same source arrives (larger broadcast id), because a new
+discovery means the old topology information is stale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.disjoint import (
+    differ_in_first_and_last_hop,
+    are_node_disjoint,
+    is_valid_path,
+)
+
+
+@dataclasses.dataclass
+class PathRecord:
+    """One stored path and its book-keeping."""
+
+    #: Node ids from the flow source to the flow destination, inclusive.
+    path: Tuple[int, ...]
+    #: When the path was learned (RREQ arrival time).
+    added_time: float
+    #: Broadcast id of the discovery that produced the path.
+    broadcast_id: int
+    #: Number of checking rounds this path has participated in.
+    checks_sent: int = 0
+    #: Number of checking errors reported against this path.
+    check_failures: int = 0
+
+    @property
+    def hop_count(self) -> int:
+        """Number of hops (edges) on the path."""
+        return len(self.path) - 1
+
+
+class PathSet:
+    """Bounded store of mutually disjoint paths for one (source, destination) flow.
+
+    Parameters
+    ----------
+    max_paths:
+        Upper bound on stored paths (the paper uses five).
+    strict_node_disjoint:
+        When True, use strict node-disjointness instead of the paper's
+        first-hop/last-hop rule (an ablation knob).
+    """
+
+    def __init__(self, max_paths: int = 5, strict_node_disjoint: bool = False):
+        if max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+        self.max_paths = max_paths
+        self.strict_node_disjoint = strict_node_disjoint
+        self._records: List[PathRecord] = []
+        #: Broadcast id of the discovery the stored paths belong to.
+        self.current_broadcast_id: int = -1
+        #: Statistics
+        self.rejected_not_disjoint: int = 0
+        self.rejected_full: int = 0
+        self.flushes: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _rule(self) -> Callable[[Sequence[int], Sequence[int]], bool]:
+        return (are_node_disjoint if self.strict_node_disjoint
+                else differ_in_first_and_last_hop)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[PathRecord]:
+        """Stored path records (insertion order: first is the replied path)."""
+        return list(self._records)
+
+    def paths(self) -> List[List[int]]:
+        """The stored paths as plain lists."""
+        return [list(rec.path) for rec in self._records]
+
+    # ------------------------------------------------------------------ #
+    def try_add(self, path: Sequence[int], now: float,
+                broadcast_id: int) -> bool:
+        """Attempt to store ``path`` for discovery ``broadcast_id``.
+
+        A path from a *newer* discovery flushes everything stored for the
+        older one first (the paper: "When a new RREQ packet (having larger
+        broadcast ID) reaches the destination, all the existing legitimate
+        paths are flushed").  Paths from an *older* discovery are ignored.
+        """
+        if not is_valid_path(path):
+            return False
+        if broadcast_id > self.current_broadcast_id:
+            if self._records:
+                self.flushes += 1
+            self._records.clear()
+            self.current_broadcast_id = broadcast_id
+        elif broadcast_id < self.current_broadcast_id:
+            return False
+
+        if len(self._records) >= self.max_paths:
+            self.rejected_full += 1
+            return False
+        rule = self._rule()
+        candidate = tuple(path)
+        for record in self._records:
+            if not rule(candidate, record.path):
+                self.rejected_not_disjoint += 1
+                return False
+        self._records.append(PathRecord(path=candidate, added_time=now,
+                                        broadcast_id=broadcast_id))
+        return True
+
+    def remove(self, path: Sequence[int]) -> bool:
+        """Remove ``path`` (e.g. after a checking error).  Returns success."""
+        target = tuple(path)
+        for index, record in enumerate(self._records):
+            if record.path == target:
+                del self._records[index]
+                return True
+        return False
+
+    def remove_containing_link(self, a: int, b: int) -> int:
+        """Remove every stored path that uses link ``a-b`` (either direction)."""
+        removed = 0
+        kept = []
+        for record in self._records:
+            uses = any((u, v) == (a, b) or (u, v) == (b, a)
+                       for u, v in zip(record.path, record.path[1:]))
+            if uses:
+                removed += 1
+            else:
+                kept.append(record)
+        self._records = kept
+        return removed
+
+    def flush(self) -> int:
+        """Drop all stored paths; returns how many were dropped."""
+        count = len(self._records)
+        if count:
+            self.flushes += 1
+        self._records.clear()
+        return count
+
+    def find(self, path: Sequence[int]) -> Optional[PathRecord]:
+        """Return the record for ``path`` if stored."""
+        target = tuple(path)
+        for record in self._records:
+            if record.path == target:
+                return record
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<PathSet n={len(self._records)}/{self.max_paths} "
+                f"bcast={self.current_broadcast_id}>")

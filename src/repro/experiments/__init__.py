@@ -1,0 +1,48 @@
+"""Experiment harness: one entry per table/figure in the paper's §IV.
+
+* :mod:`repro.experiments.sweep` — the speed sweep (protocols × maximum
+  speeds × replications) that all of Figures 5–11 are computed from.
+* :mod:`repro.experiments.figures` — the figure registry mapping each
+  figure number to the metric it plots, plus helpers to extract and format
+  the per-protocol series.
+* :mod:`repro.experiments.table1` — the Table I relay-normalisation
+  walkthrough for a single DSR scenario.
+* :mod:`repro.experiments.ablations` — MTS design-knob sweeps (checking
+  interval, maximum disjoint paths, disjointness rule) that are not in the
+  paper but quantify the design choices DESIGN.md calls out.
+"""
+
+from repro.experiments.sweep import (
+    SweepSettings,
+    SweepResult,
+    run_speed_sweep,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    FigureSpec,
+    figure_series,
+    format_figure,
+    run_figure,
+)
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.ablations import (
+    format_ablation,
+    run_check_interval_ablation,
+    run_max_paths_ablation,
+)
+
+__all__ = [
+    "SweepSettings",
+    "SweepResult",
+    "run_speed_sweep",
+    "FIGURES",
+    "FigureSpec",
+    "figure_series",
+    "format_figure",
+    "run_figure",
+    "run_table1",
+    "format_table1",
+    "run_check_interval_ablation",
+    "run_max_paths_ablation",
+    "format_ablation",
+]

@@ -1,0 +1,80 @@
+"""MTS design-knob ablations (not in the paper, motivated by DESIGN.md).
+
+Two sweeps quantify the design choices the paper fixes by fiat:
+
+* **Checking interval** — the paper recommends probing every 2–4 s; the
+  ablation sweeps the interval and reports the security/overhead
+  trade-off (shorter interval → faster route switching and better
+  confidentiality, at the price of more control packets).
+* **Maximum disjoint paths** — the paper caps the destination's store at
+  five paths "to save space"; the ablation sweeps the cap from 1 (which
+  degenerates MTS to single-path routing with periodic liveness probing)
+  to 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import ScenarioResult
+from repro.scenario.runner import run_scenario
+
+
+def _base_config(**overrides) -> ScenarioConfig:
+    params = dict(protocol="MTS", n_nodes=50, field_size=(1000.0, 1000.0),
+                  max_speed=10.0, sim_time=25.0, seed=11)
+    params.update(overrides)
+    return ScenarioConfig(**params)
+
+
+def run_check_interval_ablation(intervals: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 6.0),
+                                config: Optional[ScenarioConfig] = None,
+                                ) -> Dict[float, ScenarioResult]:
+    """Sweep the MTS route-checking interval.
+
+    Returns a mapping ``interval -> ScenarioResult``; the interesting
+    columns are ``control_overhead`` (rises as the interval shrinks) and
+    the security metrics (improve as the interval shrinks).
+    """
+    base = config or _base_config()
+    results: Dict[float, ScenarioResult] = {}
+    for interval in intervals:
+        if interval <= 0:
+            raise ValueError("check interval must be positive")
+        run_config = base.replace(mts_check_interval=float(interval))
+        results[float(interval)] = run_scenario(run_config)
+    return results
+
+
+def run_max_paths_ablation(max_paths_values: Sequence[int] = (1, 2, 3, 5),
+                           config: Optional[ScenarioConfig] = None,
+                           ) -> Dict[int, ScenarioResult]:
+    """Sweep the cap on disjoint paths stored at the destination."""
+    base = config or _base_config()
+    results: Dict[int, ScenarioResult] = {}
+    for max_paths in max_paths_values:
+        if max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+        run_config = base.replace(mts_max_paths=int(max_paths))
+        results[int(max_paths)] = run_scenario(run_config)
+    return results
+
+
+def format_ablation(results: Dict, knob_name: str,
+                    metrics: Sequence[str] = ("participating_nodes",
+                                              "relay_std",
+                                              "highest_interception_ratio",
+                                              "throughput_segments",
+                                              "control_overhead")) -> str:
+    """Render an ablation result dictionary as a text table."""
+    lines = [f"MTS ablation over {knob_name}"]
+    header = f"  {knob_name:>16}" + "".join(f"{m[:18]:>20}" for m in metrics)
+    lines.append(header)
+    for knob_value in sorted(results):
+        row = f"  {knob_value:>16}"
+        result = results[knob_value]
+        for metric in metrics:
+            row += f"{getattr(result, metric):>20.4g}"
+        lines.append(row)
+    return "\n".join(lines)

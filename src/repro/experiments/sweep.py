@@ -1,0 +1,151 @@
+"""The speed sweep underlying Figures 5–11.
+
+The paper evaluates DSR, AODV and MTS at maximum node speeds of 2, 5, 10,
+15 and 20 m/s, five replications each, and reads a different metric off
+the same runs for each figure.  :func:`run_speed_sweep` reproduces that
+grid; every figure module then extracts its own metric from the shared
+:class:`SweepResult` so the expensive simulations are run only once.
+
+Two ready-made profiles are provided:
+
+* ``SweepSettings.paper()`` — the full §IV-A configuration (50 nodes,
+  1000 m × 1000 m, 200 s, 5 replications, speeds {2, 5, 10, 15, 20}).
+* ``SweepSettings.bench()`` — a scaled-down grid (shorter runs, fewer
+  replications, three speeds) whose relative protocol ordering matches the
+  full configuration while completing in minutes on a laptop; this is what
+  the pytest benchmarks use by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import AggregateResult, ScenarioResult, aggregate_results
+from repro.scenario.runner import run_scenario
+
+#: The protocols the paper compares.
+PAPER_PROTOCOLS = ("DSR", "AODV", "MTS")
+#: The maximum speeds (m/s) on the x-axis of every figure.
+PAPER_SPEEDS = (2.0, 5.0, 10.0, 15.0, 20.0)
+
+
+@dataclasses.dataclass
+class SweepSettings:
+    """Grid definition for a speed sweep.
+
+    Attributes
+    ----------
+    protocols / speeds / replications:
+        The grid axes and the number of independent seeds per cell.
+    base_seed:
+        Seed of the first replication; further replications and cells use
+        deterministic offsets so the whole sweep is reproducible.
+    config_overrides:
+        Extra :class:`~repro.scenario.config.ScenarioConfig` fields applied
+        to every cell (e.g. ``{"sim_time": 50.0, "n_nodes": 50}``).
+    """
+
+    protocols: Tuple[str, ...] = PAPER_PROTOCOLS
+    speeds: Tuple[float, ...] = PAPER_SPEEDS
+    replications: int = 5
+    base_seed: int = 1
+    config_overrides: dict = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls, **overrides) -> "SweepSettings":
+        """The paper's full evaluation grid (hours of wall-clock time)."""
+        config = dict(n_nodes=50, field_size=(1000.0, 1000.0), sim_time=200.0)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=PAPER_SPEEDS,
+                   replications=5, config_overrides=config)
+
+    @classmethod
+    def bench(cls, **overrides) -> "SweepSettings":
+        """A scaled-down grid for the pytest benchmarks (minutes)."""
+        config = dict(n_nodes=50, field_size=(1000.0, 1000.0), sim_time=25.0)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=(2.0, 10.0, 20.0),
+                   replications=1, config_overrides=config)
+
+    @classmethod
+    def smoke(cls, **overrides) -> "SweepSettings":
+        """A minimal grid used by the integration tests (seconds)."""
+        config = dict(n_nodes=20, field_size=(800.0, 800.0), sim_time=10.0)
+        config.update(overrides)
+        return cls(protocols=("AODV", "MTS"), speeds=(5.0,),
+                   replications=1, config_overrides=config)
+
+    def cell_config(self, protocol: str, speed: float, replication: int) -> ScenarioConfig:
+        """The scenario configuration of one grid cell replication."""
+        seed = self.base_seed + 1000 * replication
+        return ScenarioConfig(protocol=protocol, max_speed=speed, seed=seed,
+                              **self.config_overrides)
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Results of a full speed sweep."""
+
+    settings: SweepSettings
+    #: (protocol, speed) -> aggregate over replications.
+    aggregates: Dict[Tuple[str, float], AggregateResult]
+    #: (protocol, speed) -> individual replication results.
+    runs: Dict[Tuple[str, float], List[ScenarioResult]]
+
+    # ------------------------------------------------------------------ #
+    def aggregate(self, protocol: str, speed: float) -> AggregateResult:
+        """The aggregate for one grid cell."""
+        return self.aggregates[(protocol, float(speed))]
+
+    def metric_series(self, metric: str) -> Dict[str, List[float]]:
+        """Per-protocol series of ``metric`` ordered by sweep speed."""
+        series: Dict[str, List[float]] = {}
+        for protocol in self.settings.protocols:
+            series[protocol] = [
+                self.aggregates[(protocol, float(speed))].mean[metric]
+                for speed in self.settings.speeds
+            ]
+        return series
+
+    def rows(self) -> List[dict]:
+        """Flat per-cell rows (protocol, speed, every aggregated metric)."""
+        out = []
+        for (protocol, speed), aggregate in sorted(self.aggregates.items()):
+            row = {"protocol": protocol, "max_speed": speed}
+            row.update(aggregate.mean)
+            out.append(row)
+        return out
+
+
+def run_speed_sweep(settings: Optional[SweepSettings] = None,
+                    progress: Optional[callable] = None) -> SweepResult:
+    """Run the full (protocol × speed × replication) grid.
+
+    Parameters
+    ----------
+    settings:
+        Grid definition; defaults to :meth:`SweepSettings.bench`.
+    progress:
+        Optional callback ``progress(protocol, speed, replication, result)``
+        invoked after every completed run (used by the example scripts to
+        print live status).
+    """
+    settings = settings or SweepSettings.bench()
+    aggregates: Dict[Tuple[str, float], AggregateResult] = {}
+    runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
+    for protocol in settings.protocols:
+        for speed in settings.speeds:
+            cell_results: List[ScenarioResult] = []
+            for replication in range(settings.replications):
+                config = settings.cell_config(protocol, speed, replication)
+                result = run_scenario(config)
+                cell_results.append(result)
+                if progress is not None:
+                    progress(protocol, speed, replication, result)
+            key = (protocol, float(speed))
+            runs[key] = cell_results
+            aggregates[key] = aggregate_results(cell_results)
+    return SweepResult(settings=settings, aggregates=aggregates, runs=runs)

@@ -1,0 +1,24 @@
+"""IEEE 802.11-style MAC layer (DCF).
+
+The paper's simulations use NS-2's IEEE 802.11b MAC.  This subpackage
+provides a distributed-coordination-function (DCF) MAC with the parts that
+matter for the paper's metrics:
+
+* physical carrier sensing with DIFS deferral and slotted binary
+  exponential backoff,
+* link-layer acknowledgements with retransmission and a retry limit for
+  unicast frames (no ACK for broadcasts),
+* receiver-side collision behaviour (via the interface), including hidden
+  terminals,
+* a link-failure callback into the routing agent when the retry limit is
+  exhausted — this is the signal AODV/DSR/MTS use to detect broken links.
+
+RTS/CTS is intentionally not modelled (NS-2 experiments of this era
+usually ran with the RTS threshold above the packet size); the DCF timing
+parameters live in :class:`~repro.mac.params.MacParams`.
+"""
+
+from repro.mac.params import MacParams
+from repro.mac.dcf import DcfMac
+
+__all__ = ["MacParams", "DcfMac"]

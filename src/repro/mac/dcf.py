@@ -1,0 +1,477 @@
+"""Distributed Coordination Function (DCF) MAC with RTS/CTS.
+
+The MAC pulls frames from the node's interface queue, contends for the
+medium (DIFS deferral + slotted binary exponential backoff with pause/
+resume on carrier sense), and transmits.  Unicast data frames larger than
+the RTS threshold use the four-way RTS → CTS → DATA → ACK exchange with
+NAV-based virtual carrier sensing at overhearing nodes; smaller unicast
+frames use DATA → ACK; broadcasts are sent once with no acknowledgement.
+When the retry limit is exhausted the routing agent is informed through
+the node's ``link_failure`` upcall — the signal AODV, DSR and MTS use to
+detect broken links, exactly as in NS-2's CMU wireless MAC (which also
+runs with RTS/CTS enabled for data frames by default).
+
+State machine::
+
+    IDLE ──frame──▶ CONTEND ──(DIFS+backoff)──▶ [RTS ▶ WAIT_CTS ▶] TRANSMIT
+        ▲                                                    │
+        └──────────── success / retry exhausted ◀─ WAIT_ACK ◀┘
+
+MAC ACKs and CTS responses are transmitted SIFS after the frame that
+elicited them and bypass contention (standard 802.11 priority).  Receive-
+side duplicate suppression mimics 802.11 retry filtering so that a lost
+MAC ACK does not surface as a duplicate packet at the transport layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.net.addressing import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.mac.params import MacParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.interface import WirelessInterface
+    from repro.net.node import Node
+    from repro.net.queue import DropTailQueue
+    from repro.sim.engine import Simulator
+
+#: Header key used on RTS/CTS frames to advertise the NAV reservation.
+NAV_HEADER_KEY = "nav"
+
+
+class DcfMac:
+    """Simplified IEEE 802.11 DCF MAC (with RTS/CTS) for one node.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine.
+    node:
+        Owning node (used for upcalls and identity).
+    interface:
+        The node's wireless interface.
+    queue:
+        The interface queue the MAC pulls frames from.
+    params:
+        Timing and rate parameters.
+    """
+
+    # MAC states
+    IDLE = "idle"
+    CONTEND = "contend"
+    WAIT_CTS = "wait_cts"
+    TRANSMIT = "transmit"
+    WAIT_ACK = "wait_ack"
+
+    def __init__(self, sim: "Simulator", node: "Node",
+                 interface: "WirelessInterface", queue: "DropTailQueue",
+                 params: Optional[MacParams] = None):
+        self.sim = sim
+        self.node = node
+        self.interface = interface
+        self.queue = queue
+        self.params = params or MacParams()
+
+        interface.attach_mac(self)
+        queue.attach_mac(self)
+
+        self.state = self.IDLE
+        self.current: Optional[Packet] = None
+        self.retries: int = 0
+        self.cw: int = self.params.cw_min
+        self.backoff_slots: int = 0
+
+        self._difs_timer = None
+        self._backoff_timer = None
+        self._backoff_started_at: Optional[float] = None
+        self._ack_timer = None
+        self._cts_timer = None
+        self._nav_until: float = 0.0
+        self._nav_timer = None
+        #: Control responses (MAC ACK / CTS) waiting for the radio to free up.
+        self._pending_response_tx: List[Packet] = []
+
+        #: Sniffer callbacks ``fn(packet, sender_id)`` invoked for every
+        #: frame this MAC decodes, regardless of its MAC destination.
+        #: Used by the passive eavesdropper.
+        self.sniffers: List[Callable[[Packet, int], None]] = []
+
+        #: Receive-side duplicate suppression (802.11 retry filtering):
+        #: recently seen (sender, frame uid) pairs.  A retransmitted frame
+        #: whose original was already delivered is re-acknowledged but not
+        #: handed up the stack a second time.
+        self._recent_rx: "OrderedDict[tuple, None]" = OrderedDict()
+        self._recent_rx_limit: int = 64
+
+        # Statistics
+        self.data_tx_attempts: int = 0
+        self.rts_sent: int = 0
+        self.cts_sent: int = 0
+        self.acks_sent: int = 0
+        self.acks_received: int = 0
+        self.retry_drops: int = 0
+        self.duplicate_rx_suppressed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # queue interaction
+    # ------------------------------------------------------------------ #
+    def wakeup(self) -> None:
+        """Called by the interface queue when a frame is enqueued."""
+        if self.state == self.IDLE and self.current is None:
+            self._load_next()
+
+    def _load_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self.state = self.IDLE
+            return
+        self.current = packet
+        self.retries = 0
+        self.cw = self.params.cw_min
+        self.backoff_slots = int(self.sim.rng("mac").integers(0, self.cw + 1))
+        self.state = self.CONTEND
+        self._begin_contention()
+
+    # ------------------------------------------------------------------ #
+    # virtual + physical carrier sense
+    # ------------------------------------------------------------------ #
+    def _nav_busy(self) -> bool:
+        return self.sim.now < self._nav_until
+
+    def _medium_busy(self) -> bool:
+        return (self.interface.carrier_busy() or self.interface.is_transmitting
+                or self._nav_busy())
+
+    def _set_nav(self, duration: float) -> None:
+        """Extend the network allocation vector by an overheard reservation."""
+        end = self.sim.now + duration
+        if end <= self._nav_until:
+            return
+        self._nav_until = end
+        if self.state == self.CONTEND:
+            # Pause like a physical busy indication and resume at NAV end.
+            self.on_channel_busy()
+            if self._nav_timer is not None:
+                self._nav_timer.cancel()
+            self._nav_timer = self.sim.schedule(duration, self._nav_expired)
+
+    def _nav_expired(self) -> None:
+        self._nav_timer = None
+        if not self._nav_busy() and not self.interface.carrier_busy():
+            self.on_channel_idle()
+
+    # ------------------------------------------------------------------ #
+    # contention (DIFS + backoff with pause/resume)
+    # ------------------------------------------------------------------ #
+    def _begin_contention(self) -> None:
+        """(Re)arm the DIFS timer if the medium is currently idle."""
+        self._cancel_timer("_difs_timer")
+        self._cancel_timer("_backoff_timer")
+        if self._medium_busy():
+            if self._nav_busy() and self._nav_timer is None:
+                self._nav_timer = self.sim.schedule(
+                    self._nav_until - self.sim.now, self._nav_expired)
+            return  # wait for on_channel_idle / NAV expiry
+        self._difs_timer = self.sim.schedule(self.params.difs, self._difs_expired)
+
+    def _difs_expired(self) -> None:
+        self._difs_timer = None
+        if self.state != self.CONTEND:
+            return
+        if self.backoff_slots <= 0:
+            self._access_medium()
+            return
+        self._backoff_started_at = self.sim.now
+        self._backoff_timer = self.sim.schedule(
+            self.backoff_slots * self.params.slot_time, self._backoff_expired)
+
+    def _backoff_expired(self) -> None:
+        self._backoff_timer = None
+        self._backoff_started_at = None
+        if self.state != self.CONTEND:
+            return
+        self.backoff_slots = 0
+        self._access_medium()
+
+    def on_channel_busy(self) -> None:
+        """Interface upcall: the medium just became busy."""
+        if self.state != self.CONTEND:
+            return
+        self._cancel_timer("_difs_timer")
+        if self._backoff_timer is not None and self._backoff_started_at is not None:
+            elapsed = self.sim.now - self._backoff_started_at
+            consumed = int(elapsed / self.params.slot_time)
+            self.backoff_slots = max(0, self.backoff_slots - consumed)
+            self._cancel_timer("_backoff_timer")
+            self._backoff_started_at = None
+
+    def on_channel_idle(self) -> None:
+        """Interface upcall: the medium just became idle."""
+        # First, flush any MAC ACK / CTS waiting for the air to clear.
+        if self._pending_response_tx and not self.interface.is_transmitting:
+            response = self._pending_response_tx.pop(0)
+            self._transmit_response_now(response)
+            return
+        if self._nav_busy():
+            return  # virtual carrier sense still holds us off
+        if self.state == self.CONTEND:
+            self._begin_contention()
+        elif self.state == self.IDLE and self.current is None and not self.queue.is_empty:
+            self._load_next()
+
+    # ------------------------------------------------------------------ #
+    # medium access: RTS or data
+    # ------------------------------------------------------------------ #
+    def _access_medium(self) -> None:
+        if self.current is None:
+            self.state = self.IDLE
+            return
+        if self._medium_busy():
+            # The medium got grabbed between timer firing and now; retry
+            # contention when it frees up.
+            self.state = self.CONTEND
+            self._begin_contention()
+            return
+        packet = self.current
+        broadcast = packet.mac_dst == BROADCAST
+        if self.params.needs_rts(packet.size, broadcast):
+            self._transmit_rts()
+        else:
+            self._transmit_current()
+
+    def _transmit_rts(self) -> None:
+        packet = self.current
+        rts = Packet(kind=PacketKind.RTS, src=self.node.node_id,
+                     dst=packet.mac_dst, size=self.params.rts_size)
+        rts.mac_src = self.node.node_id
+        rts.mac_dst = packet.mac_dst
+        rts.set_header(NAV_HEADER_KEY, {
+            "duration": self.params.nav_for_rts(packet.size),
+            "data_size": packet.size,
+            "data_uid": packet.uid,
+        })
+        self.rts_sent += 1
+        self.state = self.TRANSMIT
+        self.interface.transmit(rts, self.params.rts_duration())
+
+    def _transmit_current(self) -> None:
+        if self.current is None:
+            self.state = self.IDLE
+            return
+        if self.interface.is_transmitting:
+            self.state = self.CONTEND
+            self._begin_contention()
+            return
+        packet = self.current
+        broadcast = packet.mac_dst == BROADCAST
+        duration = self.params.frame_duration(packet.size, broadcast=broadcast)
+        self.data_tx_attempts += 1
+        self.state = self.TRANSMIT
+        if self.sim.trace is not None:
+            self.sim.trace.log(self.sim.now, "mac_tx", self.node.node_id,
+                               packet.uid, packet.kind,
+                               mac_dst=packet.mac_dst, attempt=self.retries + 1)
+        self.interface.transmit(packet.copy(), duration)
+
+    def transmission_complete(self, packet: Packet) -> None:
+        """Interface upcall: our frame finished its airtime."""
+        if packet.kind in (PacketKind.MAC_ACK, PacketKind.CTS):
+            return  # control responses need no follow-up
+        if packet.kind == PacketKind.RTS:
+            if self.current is not None and self.state == self.TRANSMIT:
+                self.state = self.WAIT_CTS
+                self._cts_timer = self.sim.schedule(self.params.cts_timeout(),
+                                                    self._cts_timeout)
+            return
+        if self.current is None or packet.uid != self.current.uid:
+            return
+        if self.current.mac_dst == BROADCAST:
+            self._finish_current(success=True)
+            return
+        # Unicast: wait for the MAC ACK.
+        self.state = self.WAIT_ACK
+        self._ack_timer = self.sim.schedule(self.params.ack_timeout(),
+                                            self._ack_timeout)
+
+    # ------------------------------------------------------------------ #
+    # retry handling (shared by CTS timeout and ACK timeout)
+    # ------------------------------------------------------------------ #
+    def _cts_timeout(self) -> None:
+        self._cts_timer = None
+        if self.state != self.WAIT_CTS or self.current is None:
+            return
+        self._retry_or_drop()
+
+    def _ack_timeout(self) -> None:
+        self._ack_timer = None
+        if self.state != self.WAIT_ACK or self.current is None:
+            return
+        self._retry_or_drop()
+
+    def _retry_or_drop(self) -> None:
+        self.retries += 1
+        if self.retries >= self.params.retry_limit:
+            packet = self.current
+            self.retry_drops += 1
+            if self.sim.trace is not None:
+                self.sim.trace.log(self.sim.now, "mac_retry_drop",
+                                   self.node.node_id, packet.uid, packet.kind,
+                                   mac_dst=packet.mac_dst)
+            self._finish_current(success=False)
+            self.node.link_failure(packet, packet.mac_dst)
+            return
+        self.cw = min(2 * self.cw + 1, self.params.cw_max)
+        self.backoff_slots = int(self.sim.rng("mac").integers(0, self.cw + 1))
+        self.state = self.CONTEND
+        self._begin_contention()
+
+    def _finish_current(self, success: bool) -> None:
+        self.current = None
+        self.retries = 0
+        self.cw = self.params.cw_min
+        self.state = self.IDLE
+        self._cancel_timer("_ack_timer")
+        self._cancel_timer("_cts_timer")
+        if not self.queue.is_empty:
+            self._load_next()
+
+    # ------------------------------------------------------------------ #
+    # control responses (MAC ACK / CTS): SIFS, no contention
+    # ------------------------------------------------------------------ #
+    def _send_mac_ack(self, data_packet: Packet, to_node: int) -> None:
+        ack = Packet(kind=PacketKind.MAC_ACK, src=self.node.node_id,
+                     dst=to_node, size=self.params.ack_size)
+        ack.mac_src = self.node.node_id
+        ack.mac_dst = to_node
+        ack.set_header("mac_ack", {"acked_uid": data_packet.uid})
+        self.sim.schedule(self.params.sifs, self._transmit_response_now, ack)
+
+    def _send_cts(self, rts: Packet, to_node: int) -> None:
+        nav_info = rts.headers.get(NAV_HEADER_KEY, {})
+        data_size = int(nav_info.get("data_size", self.params.rts_threshold + 1))
+        cts = Packet(kind=PacketKind.CTS, src=self.node.node_id,
+                     dst=to_node, size=self.params.cts_size)
+        cts.mac_src = self.node.node_id
+        cts.mac_dst = to_node
+        cts.set_header(NAV_HEADER_KEY, {
+            "duration": self.params.nav_for_cts(data_size),
+            "data_size": data_size,
+            "data_uid": nav_info.get("data_uid"),
+        })
+        self.sim.schedule(self.params.sifs, self._transmit_response_now, cts)
+
+    def _transmit_response_now(self, frame: Packet) -> None:
+        if self.interface.is_transmitting:
+            # Extremely rare: our own transmission grabbed the radio first.
+            # Queue the response; it is flushed as soon as the air clears.
+            self._pending_response_tx.append(frame)
+            return
+        if frame.kind == PacketKind.MAC_ACK:
+            self.acks_sent += 1
+            duration = self.params.ack_duration()
+        else:
+            self.cts_sent += 1
+            duration = self.params.cts_duration()
+        self.interface.transmit(frame, duration)
+
+    # ------------------------------------------------------------------ #
+    # reception
+    # ------------------------------------------------------------------ #
+    def receive_frame(self, packet: Packet, sender_id: int) -> None:
+        """Interface upcall: a frame was decoded at this node."""
+        for sniffer in self.sniffers:
+            sniffer(packet, sender_id)
+
+        kind = packet.kind
+        if kind == PacketKind.MAC_ACK:
+            if packet.mac_dst == self.node.node_id:
+                self._handle_mac_ack(packet)
+            return
+        if kind == PacketKind.RTS:
+            self._handle_rts(packet, sender_id)
+            return
+        if kind == PacketKind.CTS:
+            self._handle_cts(packet, sender_id)
+            return
+
+        if packet.mac_dst == self.node.node_id:
+            self._send_mac_ack(packet, sender_id)
+            if self._is_duplicate_rx(sender_id, packet.uid):
+                self.duplicate_rx_suppressed += 1
+                return
+            if self.sim.trace is not None:
+                self.sim.trace.log(self.sim.now, "mac_rx", self.node.node_id,
+                                   packet.uid, packet.kind, sender=sender_id)
+            self.node.receive_from_mac(packet, sender_id)
+        elif packet.mac_dst == BROADCAST:
+            if self.sim.trace is not None:
+                self.sim.trace.log(self.sim.now, "mac_rx", self.node.node_id,
+                                   packet.uid, packet.kind, sender=sender_id)
+            self.node.receive_from_mac(packet, sender_id)
+        else:
+            # Not addressed to us: promiscuous tap (DSR listening, etc.).
+            self.node.promiscuous_from_mac(packet, sender_id)
+
+    def _handle_rts(self, rts: Packet, sender_id: int) -> None:
+        if rts.mac_dst == self.node.node_id:
+            # Answer with CTS unless our NAV says the medium is reserved.
+            if not self._nav_busy():
+                self._send_cts(rts, sender_id)
+            return
+        nav_info = rts.headers.get(NAV_HEADER_KEY, {})
+        self._set_nav(float(nav_info.get("duration", 0.0)))
+
+    def _handle_cts(self, cts: Packet, sender_id: int) -> None:
+        if cts.mac_dst == self.node.node_id:
+            if self.state != self.WAIT_CTS or self.current is None:
+                return
+            nav_info = cts.headers.get(NAV_HEADER_KEY, {})
+            expected_uid = nav_info.get("data_uid")
+            if expected_uid is not None and expected_uid != self.current.uid:
+                return
+            self._cancel_timer("_cts_timer")
+            # Medium reserved: send the data frame SIFS later.
+            self.sim.schedule(self.params.sifs, self._transmit_current)
+            return
+        nav_info = cts.headers.get(NAV_HEADER_KEY, {})
+        self._set_nav(float(nav_info.get("duration", 0.0)))
+
+    def _handle_mac_ack(self, ack: Packet) -> None:
+        if self.state != self.WAIT_ACK or self.current is None:
+            return
+        header = ack.headers.get("mac_ack", {})
+        acked_uid = header.get("acked_uid")
+        if acked_uid is not None and acked_uid != self.current.uid:
+            return
+        self.acks_received += 1
+        self._cancel_timer("_ack_timer")
+        self._finish_current(success=True)
+
+    def _is_duplicate_rx(self, sender_id: int, uid: int) -> bool:
+        """Track and test the receive-dedup cache (802.11 retry filtering)."""
+        key = (sender_id, uid)
+        if key in self._recent_rx:
+            return True
+        self._recent_rx[key] = None
+        while len(self._recent_rx) > self._recent_rx_limit:
+            self._recent_rx.popitem(last=False)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _cancel_timer(self, attr: str) -> None:
+        handle = getattr(self, attr)
+        if handle is not None:
+            handle.cancel()
+            setattr(self, attr, None)
+
+    def add_sniffer(self, sniffer: Callable[[Packet, int], None]) -> None:
+        """Register a callback that sees every frame decoded by this MAC."""
+        self.sniffers.append(sniffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<DcfMac node={self.node.node_id} state={self.state}>"

@@ -1,0 +1,39 @@
+"""Metrics: everything §IV-B of the paper measures.
+
+* :class:`~repro.metrics.collector.MetricsCollector` — the central event
+  sink wired into every routing agent and the eavesdropper monitor; counts
+  originated/delivered/dropped data packets, per-node relay counts,
+  control overhead and eavesdropped packets.
+* :mod:`repro.metrics.relay` — the paper's relay-normalisation math
+  (Table I): per-node relay shares ``gamma_i`` and their standard
+  deviation (Figure 6), plus the participating-node count (Figure 5).
+* :mod:`repro.metrics.security` — interception ratio and highest
+  interception ratio (Figure 7, Equation 1).
+* :mod:`repro.metrics.tcp` — end-to-end delay, throughput, delivery rate
+  and control overhead (Figures 8–11).
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.relay import (
+    RelayNormalization,
+    normalize_relay_counts,
+    relay_share_std,
+    participating_nodes,
+)
+from repro.metrics.security import (
+    interception_ratio,
+    highest_interception_ratio,
+)
+from repro.metrics.tcp import TcpPerformance, compute_tcp_performance
+
+__all__ = [
+    "MetricsCollector",
+    "RelayNormalization",
+    "normalize_relay_counts",
+    "relay_share_std",
+    "participating_nodes",
+    "interception_ratio",
+    "highest_interception_ratio",
+    "TcpPerformance",
+    "compute_tcp_performance",
+]

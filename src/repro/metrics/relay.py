@@ -1,0 +1,89 @@
+"""Relay-count normalisation and dispersion (paper Table I and Figures 5–6).
+
+Given the per-node relay counts ``β_i`` of the participating nodes, the
+paper computes
+
+* ``α = Σ β_i`` — total relays (Equation 2),
+* ``γ_i = β_i / α`` — each node's share of the relaying work
+  (Equation 3), and
+* ``σ = sqrt( Σ (γ_i − γ̄)² / N )`` — the population standard deviation of
+  the shares (Equation 4), where ``γ̄`` is the mean share ``1/N``.
+
+A low σ means relaying is spread evenly over many nodes, so no single
+node (and hence no single eavesdropper) sees a large fraction of the
+traffic; the number of participating nodes ``N`` is Figure 5's metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclasses.dataclass
+class RelayNormalization:
+    """Result of the paper's Table-I computation for one scenario."""
+
+    #: Per-node relay counts β_i (participating nodes only).
+    beta: Dict[int, int]
+    #: Total relays α = Σ β_i.
+    alpha: int
+    #: Per-node normalised shares γ_i = β_i / α.
+    gamma: Dict[int, float]
+    #: Population standard deviation of the γ_i values.
+    std: float
+
+    @property
+    def participating(self) -> int:
+        """Number of participating nodes N."""
+        return len(self.beta)
+
+    def as_rows(self) -> List[tuple]:
+        """Rows ``(node, beta, gamma)`` sorted by node id (Table I layout)."""
+        return [(node, self.beta[node], self.gamma[node])
+                for node in sorted(self.beta)]
+
+
+def participating_nodes(relay_counts: Mapping[int, int]) -> int:
+    """Number of nodes that relayed at least one packet (Figure 5)."""
+    return sum(1 for count in relay_counts.values() if count > 0)
+
+
+def normalize_relay_counts(relay_counts: Mapping[int, int],
+                           ddof: int = 0) -> RelayNormalization:
+    """Compute α, γ_i and σ from raw per-node relay counts.
+
+    Nodes with zero relays are excluded (they are not "participating").
+    An empty input yields an all-zero result.
+
+    Parameters
+    ----------
+    ddof:
+        Delta degrees of freedom for the standard deviation.  The paper's
+        Equation 4 divides by ``N`` (``ddof=0``, the default), but the
+        worked example in Table I (19.60 %) matches the *sample* standard
+        deviation (``ddof=1``); pass ``ddof=1`` to reproduce the table's
+        number exactly.
+    """
+    beta = {node: int(count) for node, count in relay_counts.items() if count > 0}
+    alpha = sum(beta.values())
+    if alpha == 0 or not beta:
+        return RelayNormalization(beta={}, alpha=0, gamma={}, std=0.0)
+    gamma = {node: count / alpha for node, count in beta.items()}
+    std = relay_share_std(list(gamma.values()), ddof=ddof)
+    return RelayNormalization(beta=beta, alpha=alpha, gamma=gamma, std=std)
+
+
+def relay_share_std(shares: Sequence[float], ddof: int = 0) -> float:
+    """Standard deviation of normalised relay shares (Equation 4).
+
+    ``ddof=0`` is the population form written in the paper's Equation 4;
+    ``ddof=1`` is the sample form its Table I example actually used.
+    """
+    n = len(shares)
+    if n == 0 or n - ddof <= 0:
+        return 0.0
+    mean = sum(shares) / n
+    variance = sum((value - mean) ** 2 for value in shares) / (n - ddof)
+    return math.sqrt(variance)

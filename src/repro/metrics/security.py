@@ -1,0 +1,42 @@
+"""Confidentiality metrics (paper Equation 1 and Figure 7).
+
+* **Interception ratio** ``R_i = P_e / P_r`` — the fraction of the
+  traffic that actually reached the destination which the (single,
+  randomly placed) passive eavesdropper also managed to decode.
+* **Highest interception ratio** — the worst case over all participating
+  nodes: the node that relayed/overheard the most packets is assumed to be
+  the eavesdropper, so ``max_i β_i / P_r``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def interception_ratio(packets_eavesdropped: int,
+                       packets_received: int) -> float:
+    """Equation 1: ``R_i = P_e / P_r``.
+
+    Returns 0 when nothing reached the destination (the ratio is then
+    undefined; 0 is the conservative report used by the paper's plots).
+    """
+    if packets_received <= 0:
+        return 0.0
+    if packets_eavesdropped < 0:
+        raise ValueError("eavesdropped packet count cannot be negative")
+    return packets_eavesdropped / packets_received
+
+
+def highest_interception_ratio(relay_counts: Mapping[int, int],
+                               packets_received: int) -> float:
+    """Worst-case interception ratio (Figure 7).
+
+    The most heavily used participating node is taken to be the
+    eavesdropper, so its relay count plays the role of ``P_e``.
+    """
+    if packets_received <= 0 or not relay_counts:
+        return 0.0
+    heaviest = max(relay_counts.values())
+    if heaviest <= 0:
+        return 0.0
+    return heaviest / packets_received

@@ -1,0 +1,60 @@
+"""TCP performance metrics (paper Figures 8–11).
+
+* **Average end-to-end delay** — sending-to-receiving interval of data
+  packets that actually arrived (queuing + processing + retransmission
+  included), Figure 8.
+* **Throughput** — TCP data segments successfully received at the
+  destination, reported both as segments and as kb/s, Figure 9.
+* **Delivery rate** — packets reaching the destination over packets
+  generated at the source, Figure 10.
+* **Control overhead** — total routing packets transmitted, Figure 11.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+
+
+@dataclasses.dataclass
+class TcpPerformance:
+    """TCP/routing performance summary for one scenario run."""
+
+    #: Mean end-to-end delay of delivered data packets, seconds (Fig. 8).
+    mean_delay: float
+    #: TCP data segments received at the destination (Fig. 9).
+    throughput_segments: int
+    #: The same throughput expressed in kilobits per second.
+    throughput_kbps: float
+    #: Delivered / originated data packets (Fig. 10).
+    delivery_rate: float
+    #: Total routing control packet transmissions (Fig. 11).
+    control_overhead: int
+    #: Unique TCP data segments that reached the destination (P_r).
+    unique_tcp_delivered: int
+    #: Duration the metrics cover, seconds.
+    duration: float
+
+
+def compute_tcp_performance(collector: "MetricsCollector",
+                            duration: float) -> TcpPerformance:
+    """Derive the Figure 8–11 metrics from a populated collector."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    delivered_segments = collector.tcp_data_delivered()
+    delivered_bytes = collector.delivered_bytes
+    originated = collector.total_data_originated()
+    delivered = collector.total_data_delivered()
+    delivery_rate = (delivered / originated) if originated > 0 else 0.0
+    return TcpPerformance(
+        mean_delay=collector.mean_delivery_delay(),
+        throughput_segments=delivered_segments,
+        throughput_kbps=8.0 * delivered_bytes / duration / 1000.0,
+        delivery_rate=min(delivery_rate, 1.0),
+        control_overhead=collector.total_control_packets(),
+        unique_tcp_delivered=collector.unique_tcp_delivered(),
+        duration=duration,
+    )

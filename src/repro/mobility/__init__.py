@@ -1,0 +1,27 @@
+"""Node mobility models.
+
+The paper uses the random waypoint model: each node picks a uniformly
+random destination in the field, moves towards it at a uniformly random
+constant speed in ``(0, max_speed]``, pauses for a fixed time, and
+repeats.  :class:`~repro.mobility.random_waypoint.RandomWaypoint`
+implements this with *analytic* position evaluation — positions are
+computed on demand from the waypoint segments instead of being advanced by
+periodic movement events, which keeps the event queue free of mobility
+ticks (a performance idiom borrowed from NS-2's setdest trace playback).
+
+Also provided: :class:`~repro.mobility.base.StaticMobility` (fixed
+positions, used heavily by tests and topology examples) and
+:class:`~repro.mobility.random_walk.RandomWalk`.
+"""
+
+from repro.mobility.base import MobilityModel, StaticMobility, Waypoint
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.random_walk import RandomWalk
+
+__all__ = [
+    "MobilityModel",
+    "StaticMobility",
+    "Waypoint",
+    "RandomWaypoint",
+    "RandomWalk",
+]

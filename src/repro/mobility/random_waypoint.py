@@ -1,0 +1,152 @@
+"""Random waypoint mobility (the paper's model).
+
+Behaviour (paper §IV-A): a node starts at a uniformly random position,
+picks a uniformly random destination inside the field, travels there in a
+straight line at a constant speed drawn uniformly from
+``(min_speed, max_speed]``, pauses for ``pause_time`` seconds, and
+repeats.
+
+The trajectory is materialised lazily as a list of
+:class:`~repro.mobility.base.Waypoint` segments; position queries binary-
+search the segment list, so looking up a position is O(log segments) and
+no simulation events are needed to "move" nodes.  Segments are generated
+deterministically from the model's own random generator, so the trajectory
+depends only on the scenario seed and the node's stream name.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel, Waypoint
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint trajectory inside a rectangular field.
+
+    Parameters
+    ----------
+    rng:
+        Dedicated random generator for this node's trajectory.
+    field_size:
+        ``(width, height)`` of the simulation field in metres.
+    max_speed:
+        Maximum speed in m/s; each leg's speed is uniform in
+        ``(min_speed, max_speed]``.
+    min_speed:
+        Minimum speed in m/s.  Strictly positive to avoid the well-known
+        random-waypoint "speed decay to zero" pathology.
+    pause_time:
+        Pause at each destination, seconds (paper: ~1 s).
+    initial_position:
+        Optional fixed starting position; random when omitted.
+    """
+
+    #: How much trajectory (seconds) to generate per extension step.
+    _EXTEND_CHUNK = 200.0
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        field_size: Tuple[float, float] = (1000.0, 1000.0),
+        max_speed: float = 10.0,
+        min_speed: float = 0.1,
+        pause_time: float = 1.0,
+        initial_position: Optional[Tuple[float, float]] = None,
+    ):
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if min_speed <= 0 or min_speed > max_speed:
+            raise ValueError("min_speed must be in (0, max_speed]")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.rng = rng
+        self.field_size = (float(field_size[0]), float(field_size[1]))
+        self.max_speed = float(max_speed)
+        self.min_speed = float(min_speed)
+        self.pause_time = float(pause_time)
+
+        if initial_position is None:
+            start = self._random_point()
+        else:
+            start = (float(initial_position[0]), float(initial_position[1]))
+            self._validate_in_field(start)
+        self._segments: List[Waypoint] = []
+        self._segment_starts: List[float] = []
+        self._trajectory_end: float = 0.0
+        self._current_pos = start
+        self._append_segment(Waypoint(0.0, 0.0, start, start))
+
+    # ------------------------------------------------------------------ #
+    # trajectory construction
+    # ------------------------------------------------------------------ #
+    def _random_point(self) -> Tuple[float, float]:
+        return (float(self.rng.uniform(0.0, self.field_size[0])),
+                float(self.rng.uniform(0.0, self.field_size[1])))
+
+    def _validate_in_field(self, pos: Tuple[float, float]) -> None:
+        if not (0.0 <= pos[0] <= self.field_size[0]
+                and 0.0 <= pos[1] <= self.field_size[1]):
+            raise ValueError(f"position {pos} outside field {self.field_size}")
+
+    def _append_segment(self, segment: Waypoint) -> None:
+        self._segments.append(segment)
+        self._segment_starts.append(segment.start_time)
+        self._trajectory_end = segment.end_time
+        self._current_pos = segment.end_pos
+
+    def _extend_to(self, time: float) -> None:
+        """Generate waypoint legs until the trajectory covers ``time``."""
+        while self._trajectory_end <= time:
+            here = self._current_pos
+            t0 = self._trajectory_end
+            destination = self._random_point()
+            speed = float(self.rng.uniform(self.min_speed, self.max_speed))
+            distance = float(np.hypot(destination[0] - here[0],
+                                      destination[1] - here[1]))
+            travel_time = distance / speed if speed > 0 else 0.0
+            if travel_time > 0:
+                self._append_segment(Waypoint(t0, t0 + travel_time, here,
+                                              destination))
+                t0 += travel_time
+            if self.pause_time > 0:
+                self._append_segment(Waypoint(t0, t0 + self.pause_time,
+                                              destination, destination))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def position(self, time: float) -> Tuple[float, float]:
+        if time < 0:
+            time = 0.0
+        if time >= self._trajectory_end:
+            self._extend_to(time + self._EXTEND_CHUNK)
+        index = bisect.bisect_right(self._segment_starts, time) - 1
+        index = max(index, 0)
+        return self._segments[index].position(time)
+
+    def speed_at(self, time: float) -> float:
+        if time < 0:
+            time = 0.0
+        if time >= self._trajectory_end:
+            self._extend_to(time + self._EXTEND_CHUNK)
+        index = max(bisect.bisect_right(self._segment_starts, time) - 1, 0)
+        seg = self._segments[index]
+        duration = seg.end_time - seg.start_time
+        if duration <= 0:
+            return 0.0
+        dist = float(np.hypot(seg.end_pos[0] - seg.start_pos[0],
+                              seg.end_pos[1] - seg.start_pos[1]))
+        return dist / duration
+
+    def segments_until(self, time: float) -> List[Waypoint]:
+        """All waypoint segments covering ``[0, time]`` (for inspection)."""
+        self._extend_to(time)
+        return [s for s in self._segments if s.start_time <= time]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"RandomWaypoint(max_speed={self.max_speed}, "
+                f"pause={self.pause_time}, field={self.field_size})")

@@ -1,0 +1,41 @@
+"""Network substrate: packets, wireless channel, interfaces, queues, nodes.
+
+This subpackage plays the role of NS-2's mobile-node plumbing: it owns the
+packet representation, the wireless channel with a propagation model, the
+per-node network interface (PHY state machine with receiver-side collision
+detection), the interface queue between the routing layer and the MAC, and
+the :class:`~repro.net.node.Node` container that wires a protocol stack
+together.
+"""
+
+from repro.net.addressing import BROADCAST, is_broadcast
+from repro.net.packet import Packet, PacketKind, is_data_kind, is_routing_kind
+from repro.net.propagation import (
+    PropagationModel,
+    RangePropagation,
+    LogDistanceShadowing,
+    TwoRayGround,
+)
+from repro.net.channel import WirelessChannel
+from repro.net.interface import WirelessInterface, Reception
+from repro.net.queue import DropTailQueue, PriorityQueue
+from repro.net.node import Node
+
+__all__ = [
+    "BROADCAST",
+    "is_broadcast",
+    "Packet",
+    "PacketKind",
+    "is_data_kind",
+    "is_routing_kind",
+    "PropagationModel",
+    "RangePropagation",
+    "LogDistanceShadowing",
+    "TwoRayGround",
+    "WirelessChannel",
+    "WirelessInterface",
+    "Reception",
+    "DropTailQueue",
+    "PriorityQueue",
+    "Node",
+]

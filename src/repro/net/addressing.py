@@ -1,0 +1,30 @@
+"""Node addressing helpers.
+
+Nodes are addressed by small non-negative integers; ``BROADCAST`` is the
+link-layer broadcast address used by route-request flooding.
+"""
+
+from __future__ import annotations
+
+#: Link-layer broadcast address (NS-2 uses -1 / 0xffffffff similarly).
+BROADCAST: int = -1
+
+
+def is_broadcast(address: int) -> bool:
+    """True when ``address`` is the link-layer broadcast address."""
+    return address == BROADCAST
+
+
+def validate_node_id(node_id: int) -> int:
+    """Validate and return a unicast node id.
+
+    Raises
+    ------
+    ValueError
+        If the id is negative (reserved for broadcast / invalid).
+    """
+    if not isinstance(node_id, (int,)) or isinstance(node_id, bool):
+        raise ValueError(f"node id must be an int, got {node_id!r}")
+    if node_id < 0:
+        raise ValueError(f"node id must be non-negative, got {node_id}")
+    return node_id

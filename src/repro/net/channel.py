@@ -1,0 +1,116 @@
+"""The shared wireless channel.
+
+The channel knows every :class:`~repro.net.interface.WirelessInterface`
+attached to it.  When an interface transmits, the channel evaluates the
+propagation model against the current node positions and delivers the
+frame (as a timed reception) to every interface within range.  Receiver
+interfaces decide locally whether overlapping receptions collide — this is
+the standard receiver-side collision model, which also captures hidden
+terminals because carrier sensing happens at the *sender* while collisions
+happen at the *receiver*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from repro.net.propagation import PropagationModel, RangePropagation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.interface import WirelessInterface
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+class WirelessChannel:
+    """Broadcast wireless medium shared by all node interfaces.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine (for the clock and event scheduling).
+    propagation:
+        The propagation model; defaults to a deterministic 250 m disc,
+        matching the paper's configuration.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 propagation: Optional[PropagationModel] = None):
+        self.sim = sim
+        self.propagation = propagation or RangePropagation(250.0)
+        self._interfaces: List["WirelessInterface"] = []
+        #: Count of frame transmissions put on the air (all kinds).
+        self.transmissions: int = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, interface: "WirelessInterface") -> None:
+        """Attach an interface to the channel."""
+        if interface in self._interfaces:
+            raise ValueError("interface already registered")
+        self._interfaces.append(interface)
+
+    @property
+    def interfaces(self) -> Iterable["WirelessInterface"]:
+        return tuple(self._interfaces)
+
+    # ------------------------------------------------------------------ #
+    # geometry helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def distance(pos_a, pos_b) -> float:
+        """Euclidean distance between two ``(x, y)`` positions."""
+        dx = pos_a[0] - pos_b[0]
+        dy = pos_a[1] - pos_b[1]
+        return math.hypot(dx, dy)
+
+    def neighbors_of(self, interface: "WirelessInterface") -> List["WirelessInterface"]:
+        """Interfaces currently within decode range of ``interface``.
+
+        Used by tests and by topology inspection tools; the transmit path
+        below recomputes positions itself so it never goes through this
+        convenience wrapper.
+        """
+        now = self.sim.now
+        my_pos = interface.node.position(now)
+        out = []
+        for other in self._interfaces:
+            if other is interface:
+                continue
+            d = self.distance(my_pos, other.node.position(now))
+            if self.propagation.in_range(d):
+                out.append(other)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # transmission
+    # ------------------------------------------------------------------ #
+    def transmit(self, sender: "WirelessInterface", packet: "Packet",
+                 duration: float) -> None:
+        """Put ``packet`` on the air from ``sender`` for ``duration`` seconds.
+
+        Every other interface within decode range receives a (possibly
+        colliding) copy; interfaces between decode range and detection
+        range only sense energy (their carrier sense goes busy) but cannot
+        decode the frame.
+        """
+        now = self.sim.now
+        self.transmissions += 1
+        sender_pos = sender.node.position(now)
+        rng = self.sim.rng("propagation")
+        decode_limit = self.propagation.detection_range()
+        for receiver in self._interfaces:
+            if receiver is sender:
+                continue
+            d = self.distance(sender_pos, receiver.node.position(now))
+            if d > decode_limit:
+                continue
+            decodable = self.propagation.in_range(d, rng)
+            delay = self.propagation.delay(d)
+            # Copy per receiver so header mutations at one receiver never
+            # alias another receiver's view of the frame.
+            frame = packet.copy()
+            self.sim.schedule(delay, receiver.begin_reception, frame,
+                              duration, decodable, sender.node.node_id)

@@ -1,0 +1,216 @@
+"""Packet representation.
+
+A :class:`Packet` is the unit of work passed between every layer of the
+simulated stack.  It mirrors NS-2's common packet header plus a dictionary
+of per-protocol headers:
+
+* end-to-end fields (``src``, ``dst``, ``src_port``, ``dst_port``) never
+  change after the packet is created at its origin;
+* per-hop MAC fields (``mac_src``, ``mac_dst``) are rewritten by the
+  routing agent at each forwarding node;
+* ``headers`` holds typed protocol headers (TCP header, RREQ header,
+  DSR source route, MTS checking header, ...), keyed by a short string.
+
+Packets carry a globally unique ``uid`` assigned at creation; forwarded
+copies keep the uid (identity of the datum), while independently generated
+packets (e.g. each node's rebroadcast bookkeeping in tests) may request a
+fresh one via ``copy(new_uid=True)``.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.net.addressing import BROADCAST
+
+
+class PacketKind:
+    """String constants identifying packet types.
+
+    Data kinds carry application/transport payload; routing kinds are
+    control traffic counted by the paper's "control overhead" metric
+    (Figure 11).
+    """
+
+    # transport / application data
+    TCP = "tcp"            #: TCP data segment
+    TCP_ACK = "tcp_ack"    #: TCP acknowledgement
+    UDP = "udp"            #: UDP datagram (CBR traffic)
+
+    # routing control
+    RREQ = "rreq"          #: route request (flooded)
+    RREP = "rrep"          #: route reply (unicast along reverse path)
+    RERR = "rerr"          #: route error
+    CHECK = "check"        #: MTS route checking packet (destination -> source)
+    CHECK_ERR = "check_err"  #: MTS checking error (back to destination)
+    HELLO = "hello"        #: AODV hello beacon (disabled by default)
+
+    # link layer
+    MAC_ACK = "mac_ack"    #: IEEE 802.11 MAC-level acknowledgement frame
+    RTS = "rts"            #: IEEE 802.11 request-to-send frame
+    CTS = "cts"            #: IEEE 802.11 clear-to-send frame
+
+
+#: Kinds carrying end-to-end data (used by delivery/interception metrics).
+DATA_KINDS = frozenset({PacketKind.TCP, PacketKind.TCP_ACK, PacketKind.UDP})
+
+#: Kinds that count as routing control overhead (paper Figure 11).
+ROUTING_KINDS = frozenset({
+    PacketKind.RREQ, PacketKind.RREP, PacketKind.RERR,
+    PacketKind.CHECK, PacketKind.CHECK_ERR, PacketKind.HELLO,
+})
+
+
+def is_data_kind(kind: str) -> bool:
+    """True for packets that carry transport payload (TCP/ACK/UDP)."""
+    return kind in DATA_KINDS
+
+
+def is_routing_kind(kind: str) -> bool:
+    """True for routing-protocol control packets."""
+    return kind in ROUTING_KINDS
+
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+class Packet:
+    """A simulated packet.
+
+    Parameters
+    ----------
+    kind:
+        One of the :class:`PacketKind` constants.
+    src, dst:
+        End-to-end source and destination node ids.
+    size:
+        Total size in bytes (payload + headers), used for transmission
+        timing and throughput accounting.
+    src_port, dst_port:
+        Transport demultiplexing keys (only meaningful for data kinds).
+    ttl:
+        Remaining hop budget; decremented by forwarding nodes.
+    timestamp:
+        Creation time at the origin (set by the sending agent); used for
+        the end-to-end delay metric.
+    """
+
+    __slots__ = (
+        "uid", "kind", "src", "dst", "size", "src_port", "dst_port",
+        "ttl", "timestamp", "mac_src", "mac_dst", "prev_hop", "hop_count",
+        "headers",
+    )
+
+    DEFAULT_TTL = 64
+
+    def __init__(
+        self,
+        kind: str,
+        src: int,
+        dst: int,
+        size: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        ttl: int = DEFAULT_TTL,
+        timestamp: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.uid: int = _next_uid()
+        self.kind: str = kind
+        self.src: int = src
+        self.dst: int = dst
+        self.size: int = int(size)
+        self.src_port: int = src_port
+        self.dst_port: int = dst_port
+        self.ttl: int = ttl
+        self.timestamp: float = timestamp
+        #: MAC-layer (per hop) source of the current transmission.
+        self.mac_src: int = src
+        #: MAC-layer (per hop) destination of the current transmission.
+        self.mac_dst: int = BROADCAST
+        #: Node id of the previous hop as seen by the routing layer.
+        self.prev_hop: Optional[int] = None
+        #: Number of hops traversed so far.
+        self.hop_count: int = 0
+        #: Per-protocol headers keyed by short names ("tcp", "rreq", ...).
+        self.headers: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # header helpers
+    # ------------------------------------------------------------------ #
+    def set_header(self, name: str, header: Any) -> None:
+        """Attach (or replace) the protocol header ``name``."""
+        self.headers[name] = header
+
+    def get_header(self, name: str) -> Any:
+        """Return the protocol header ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the header is missing — callers that can tolerate absence
+            should use ``packet.headers.get(name)`` instead.
+        """
+        return self.headers[name]
+
+    def has_header(self, name: str) -> bool:
+        """True when the protocol header ``name`` is present."""
+        return name in self.headers
+
+    # ------------------------------------------------------------------ #
+    # classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_data(self) -> bool:
+        """True for TCP data, TCP ACK and UDP packets."""
+        return self.kind in DATA_KINDS
+
+    @property
+    def is_routing(self) -> bool:
+        """True for routing control packets."""
+        return self.kind in ROUTING_KINDS
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when the current hop transmission is a broadcast."""
+        return self.mac_dst == BROADCAST
+
+    # ------------------------------------------------------------------ #
+    # copying
+    # ------------------------------------------------------------------ #
+    def copy(self, new_uid: bool = False) -> "Packet":
+        """Return a deep copy of the packet.
+
+        Forwarding a packet through several nodes that may hold it
+        concurrently (e.g. flooding) must not alias header objects, so
+        headers are deep-copied.  The uid is preserved unless
+        ``new_uid=True`` because it identifies the logical datum for the
+        delivery and interception metrics.
+        """
+        clone = Packet.__new__(Packet)
+        clone.uid = _next_uid() if new_uid else self.uid
+        clone.kind = self.kind
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.size = self.size
+        clone.src_port = self.src_port
+        clone.dst_port = self.dst_port
+        clone.ttl = self.ttl
+        clone.timestamp = self.timestamp
+        clone.mac_src = self.mac_src
+        clone.mac_dst = self.mac_dst
+        clone.prev_hop = self.prev_hop
+        clone.hop_count = self.hop_count
+        clone.headers = _copy.deepcopy(self.headers)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<Packet #{self.uid} {self.kind} {self.src}->{self.dst} "
+                f"hop {self.mac_src}->{self.mac_dst} size={self.size}>")

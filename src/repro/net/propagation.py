@@ -1,0 +1,206 @@
+"""Radio propagation models.
+
+The paper's NS-2 setup uses the CMU wireless extensions with a nominal
+250 m transmission range.  The metrics studied (who relays which packets,
+how TCP behaves when routes break) depend on connectivity — i.e. which
+receivers can decode a transmission — so the default model here is the
+deterministic :class:`RangePropagation` disc.  Two physically richer
+models are provided for sensitivity studies:
+
+* :class:`TwoRayGround` — deterministic two-ray ground reflection with a
+  receive-power threshold calibrated so the crossover distance equals the
+  nominal range (this is exactly how NS-2 derives its 250 m default).
+* :class:`LogDistanceShadowing` — log-distance path loss plus log-normal
+  shadowing, giving a probabilistic reception disc.
+
+All models answer two questions for a (transmitter, receiver) pair at a
+given distance: can the receiver detect/decode the signal, and what is the
+propagation delay.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+#: Speed of light in m/s, used for propagation delay.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+class PropagationModel(ABC):
+    """Interface for propagation models."""
+
+    @abstractmethod
+    def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
+        """Whether a transmission is decodable at ``distance`` metres."""
+
+    @abstractmethod
+    def nominal_range(self) -> float:
+        """Nominal (deterministic-equivalent) range in metres."""
+
+    def delay(self, distance: float) -> float:
+        """Propagation delay in seconds over ``distance`` metres."""
+        return max(distance, 0.0) / SPEED_OF_LIGHT
+
+    def detection_range(self) -> float:
+        """Maximum distance at which a signal can still interfere.
+
+        By default this equals the nominal range; models with a carrier
+        sense range larger than the decode range may override it.
+        """
+        return self.nominal_range()
+
+
+class RangePropagation(PropagationModel):
+    """Deterministic unit-disc propagation with a fixed radius.
+
+    Parameters
+    ----------
+    range_m:
+        Decode range in metres (paper default: 250 m).
+    carrier_sense_factor:
+        The carrier-sense/interference range as a multiple of the decode
+        range.  NS-2's default PHY senses energy out to roughly twice the
+        decode range; a factor of 1.0 reproduces an idealised disc.
+    """
+
+    def __init__(self, range_m: float = 250.0, carrier_sense_factor: float = 1.0):
+        if range_m <= 0:
+            raise ValueError("range must be positive")
+        if carrier_sense_factor < 1.0:
+            raise ValueError("carrier sense factor must be >= 1")
+        self.range_m = float(range_m)
+        self.carrier_sense_factor = float(carrier_sense_factor)
+
+    def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
+        return distance <= self.range_m
+
+    def nominal_range(self) -> float:
+        return self.range_m
+
+    def detection_range(self) -> float:
+        return self.range_m * self.carrier_sense_factor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RangePropagation(range_m={self.range_m})"
+
+
+class TwoRayGround(PropagationModel):
+    """Two-ray ground reflection model with a receive threshold.
+
+    Received power follows ``Pr = Pt * Gt * Gr * ht^2 * hr^2 / d^4`` beyond
+    the crossover distance and free space (``1/d^2``) before it.  The
+    receive threshold is calibrated from ``nominal_range_m`` so that the
+    decode range matches the requested nominal range, which is how NS-2's
+    default 250 m figure is produced.
+    """
+
+    def __init__(
+        self,
+        nominal_range_m: float = 250.0,
+        tx_power_w: float = 0.2818,
+        antenna_height_m: float = 1.5,
+        antenna_gain: float = 1.0,
+        frequency_hz: float = 2.4e9,
+    ):
+        if nominal_range_m <= 0:
+            raise ValueError("nominal range must be positive")
+        self.nominal_range_m = float(nominal_range_m)
+        self.tx_power_w = float(tx_power_w)
+        self.antenna_height_m = float(antenna_height_m)
+        self.antenna_gain = float(antenna_gain)
+        self.wavelength_m = SPEED_OF_LIGHT / float(frequency_hz)
+        #: Crossover distance between free-space and two-ray regimes.
+        self.crossover_m = (4 * math.pi * antenna_height_m * antenna_height_m
+                            / self.wavelength_m)
+        #: Receive power threshold calibrated to the nominal range.
+        self.rx_threshold_w = self.received_power(self.nominal_range_m)
+
+    def received_power(self, distance: float) -> float:
+        """Received power in watts at ``distance`` metres."""
+        d = max(distance, 1e-3)
+        g = self.antenna_gain * self.antenna_gain
+        if d < self.crossover_m:
+            return (self.tx_power_w * g * self.wavelength_m ** 2
+                    / ((4 * math.pi * d) ** 2))
+        h2 = self.antenna_height_m ** 2
+        return self.tx_power_w * g * h2 * h2 / (d ** 4)
+
+    def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
+        return self.received_power(distance) >= self.rx_threshold_w
+
+    def nominal_range(self) -> float:
+        return self.nominal_range_m
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TwoRayGround(nominal_range_m={self.nominal_range_m})"
+
+
+class LogDistanceShadowing(PropagationModel):
+    """Log-distance path loss with log-normal shadowing.
+
+    Reception succeeds when the shadowed path loss at the given distance
+    does not exceed the loss budget implied by ``nominal_range_m``.  With
+    ``sigma_db == 0`` the model degenerates to a deterministic disc.
+
+    Parameters
+    ----------
+    nominal_range_m:
+        Distance at which the *median* path loss exactly meets the budget.
+    path_loss_exponent:
+        Typically 2 (free space) to 4 (obstructed outdoor).
+    sigma_db:
+        Standard deviation of the shadowing term in dB.
+    """
+
+    def __init__(self, nominal_range_m: float = 250.0,
+                 path_loss_exponent: float = 2.7, sigma_db: float = 0.0):
+        if nominal_range_m <= 0:
+            raise ValueError("nominal range must be positive")
+        if path_loss_exponent <= 0:
+            raise ValueError("path loss exponent must be positive")
+        if sigma_db < 0:
+            raise ValueError("sigma must be non-negative")
+        self.nominal_range_m = float(nominal_range_m)
+        self.path_loss_exponent = float(path_loss_exponent)
+        self.sigma_db = float(sigma_db)
+
+    def _margin_db(self, distance: float) -> float:
+        """Fade margin in dB: positive means decodable in the median case."""
+        d = max(distance, 1e-3)
+        return -10.0 * self.path_loss_exponent * math.log10(d / self.nominal_range_m)
+
+    def reception_probability(self, distance: float) -> float:
+        """Probability that a packet at ``distance`` is decodable."""
+        margin = self._margin_db(distance)
+        if self.sigma_db == 0.0:
+            return 1.0 if margin >= 0 else 0.0
+        # P(shadowing <= margin) with shadowing ~ N(0, sigma^2)
+        return 0.5 * (1.0 + math.erf(margin / (self.sigma_db * math.sqrt(2.0))))
+
+    def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
+        p = self.reception_probability(distance)
+        if p >= 1.0:
+            return True
+        if p <= 0.0:
+            return False
+        if rng is None:
+            return p >= 0.5
+        return bool(rng.random() < p)
+
+    def nominal_range(self) -> float:
+        return self.nominal_range_m
+
+    def detection_range(self) -> float:
+        # Beyond ~3 sigma of extra margin the signal is effectively gone.
+        if self.sigma_db == 0.0:
+            return self.nominal_range_m
+        extra = 10 ** (3.0 * self.sigma_db / (10.0 * self.path_loss_exponent))
+        return self.nominal_range_m * extra
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"LogDistanceShadowing(nominal_range_m={self.nominal_range_m}, "
+                f"n={self.path_loss_exponent}, sigma_db={self.sigma_db})")

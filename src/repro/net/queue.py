@@ -1,0 +1,164 @@
+"""Interface queues between the routing layer and the MAC.
+
+NS-2 mobile nodes place a 50-packet interface queue ("ifq") between the
+routing agent and the MAC; routing protocol packets get priority
+(``Queue/DropTail/PriQueue``).  Both behaviours are reproduced here:
+
+* :class:`DropTailQueue` — plain FIFO with tail drop.
+* :class:`PriorityQueue` — routing control packets are served before data
+  packets; within a class, FIFO order is preserved.
+
+The MAC pulls from the queue (``dequeue``) whenever it finishes the
+previous frame; the queue wakes an idle MAC up (``mac.wakeup()``) when a
+packet arrives.  Routing agents may purge packets destined to a broken
+next hop via :meth:`remove_matching` — NS-2's ``ifq filter``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """Bounded FIFO queue with tail drop.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of queued packets (NS-2 default: 50).
+    """
+
+    def __init__(self, capacity: int = 50):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self.mac = None  # attached by the MAC
+        #: Counters for diagnostics and tests.
+        self.enqueued: int = 0
+        self.dequeued: int = 0
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------ #
+    def attach_mac(self, mac) -> None:
+        """Attach the MAC that will pull packets from this queue."""
+        self.mac = mac
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    # ------------------------------------------------------------------ #
+    def enqueue(self, packet: "Packet") -> bool:
+        """Add ``packet``; returns False (and drops) when the queue is full."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        if self.mac is not None:
+            self.mac.wakeup()
+        return True
+
+    def dequeue(self) -> Optional["Packet"]:
+        """Remove and return the next packet, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        self.dequeued += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional["Packet"]:
+        """Return (without removing) the next packet, or ``None``."""
+        return self._queue[0] if self._queue else None
+
+    def remove_matching(self, predicate: Callable[["Packet"], bool]) -> List["Packet"]:
+        """Remove and return all queued packets satisfying ``predicate``.
+
+        Used by routing agents to purge packets headed to a next hop that
+        has just been declared unreachable.
+        """
+        kept: deque = deque()
+        removed: List["Packet"] = []
+        for packet in self._queue:
+            if predicate(packet):
+                removed.append(packet)
+            else:
+                kept.append(packet)
+        self._queue = kept
+        return removed
+
+
+class PriorityQueue(DropTailQueue):
+    """Two-class priority queue: routing control before data.
+
+    Mirrors NS-2's ``PriQueue`` used by AODV/DSR simulations: routing
+    protocol packets are enqueued ahead of data packets so that route
+    discovery is not starved behind a full data backlog.  Capacity applies
+    to the two classes combined; when full, an arriving control packet
+    evicts the newest data packet if possible.
+    """
+
+    def __init__(self, capacity: int = 50):
+        super().__init__(capacity)
+        self._control: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue) + len(self._control)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue and not self._control
+
+    def enqueue(self, packet: "Packet") -> bool:
+        total = len(self._queue) + len(self._control)
+        if packet.is_routing:
+            if total >= self.capacity:
+                if self._queue:
+                    # Evict the most recent data packet in favour of control.
+                    self._queue.pop()
+                    self.dropped += 1
+                else:
+                    self.dropped += 1
+                    return False
+            self._control.append(packet)
+            self.enqueued += 1
+            if self.mac is not None:
+                self.mac.wakeup()
+            return True
+        if total >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        if self.mac is not None:
+            self.mac.wakeup()
+        return True
+
+    def dequeue(self) -> Optional["Packet"]:
+        if self._control:
+            self.dequeued += 1
+            return self._control.popleft()
+        return super().dequeue()
+
+    def peek(self) -> Optional["Packet"]:
+        if self._control:
+            return self._control[0]
+        return super().peek()
+
+    def remove_matching(self, predicate: Callable[["Packet"], bool]) -> List["Packet"]:
+        removed = super().remove_matching(predicate)
+        kept: deque = deque()
+        for packet in self._control:
+            if predicate(packet):
+                removed.append(packet)
+            else:
+                kept.append(packet)
+        self._control = kept
+        return removed

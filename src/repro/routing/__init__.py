@@ -1,0 +1,39 @@
+"""Routing protocols: the DSR and AODV baselines plus an AOMDV variant.
+
+The paper compares its MTS protocol (see :mod:`repro.core`) against DSR
+and AODV, so both baselines are implemented here on top of the common
+:class:`~repro.routing.base.RoutingAgent` machinery.  AOMDV-style
+multipath distance vector routing is included as an extra baseline for the
+ablation benchmarks (the paper cites it as the origin of MTS's
+disjoint-path rule).
+"""
+
+from repro.routing.base import RoutingAgent, RoutingConfig
+from repro.routing.packets import (
+    RreqHeader,
+    RrepHeader,
+    RerrHeader,
+    SourceRouteHeader,
+    CheckHeader,
+    CheckErrHeader,
+)
+from repro.routing.dsr import DsrAgent, DsrConfig
+from repro.routing.aodv import AodvAgent, AodvConfig
+from repro.routing.aomdv import AomdvAgent, AomdvConfig
+
+__all__ = [
+    "RoutingAgent",
+    "RoutingConfig",
+    "RreqHeader",
+    "RrepHeader",
+    "RerrHeader",
+    "SourceRouteHeader",
+    "CheckHeader",
+    "CheckErrHeader",
+    "DsrAgent",
+    "DsrConfig",
+    "AodvAgent",
+    "AodvConfig",
+    "AomdvAgent",
+    "AomdvConfig",
+]

@@ -1,0 +1,320 @@
+"""AOMDV-style multipath distance vector routing (extension baseline).
+
+The paper borrows its disjoint-path acceptance rule from AOMDV (Marina &
+Das, ICNP 2001, reference [10]).  AOMDV itself is not part of the paper's
+evaluation, but having it available lets the ablation benchmarks separate
+two effects: *keeping* multiple backup next hops (AOMDV) versus *actively
+probing and switching* between full disjoint paths (MTS).
+
+This implementation follows AOMDV's spirit rather than every rule of the
+original protocol:
+
+* each routing table entry keeps up to ``max_alternates`` loop-free next
+  hops (distinct next hops toward the destination, collected from multiple
+  RREQ/RREP copies);
+* data always uses the first (best) alternative; when the MAC reports a
+  link failure the failed next hop is removed and traffic falls over to
+  the next alternative without a new discovery — only when the whole set
+  is exhausted does the source re-flood;
+* duplicate RREQ copies are *not* suppressed at the destination (they are
+  at intermediate nodes), so the destination can answer along several
+  reverse paths, as in AOMDV.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.addressing import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.routing.base import RoutingAgent, RoutingConfig
+from repro.routing.packets import (
+    RREQ_KEY, RREP_KEY, RERR_KEY,
+    RreqHeader, RrepHeader, RerrHeader,
+    RREQ_BASE_SIZE, RREP_BASE_SIZE, RERR_BASE_SIZE, control_packet_size,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class AomdvConfig(RoutingConfig):
+    """AOMDV-specific parameters."""
+
+    #: Maximum number of alternative next hops per destination.
+    max_alternates: int = 3
+    #: Seconds a route set stays valid after its last use.
+    active_route_timeout: float = 10.0
+    #: How many distinct reverse paths the destination answers per flood.
+    max_replies_per_flood: int = 3
+    flood_cache_timeout: float = 10.0
+
+
+@dataclasses.dataclass
+class AlternateRoute:
+    """One alternative next hop towards a destination."""
+
+    next_hop: int
+    hop_count: int
+    seq: int
+
+
+@dataclasses.dataclass
+class MultipathEntry:
+    """Routing table entry holding several alternative next hops."""
+
+    destination: int
+    seq: int
+    expire_time: float
+    alternates: List[AlternateRoute] = dataclasses.field(default_factory=list)
+
+    def best(self) -> Optional[AlternateRoute]:
+        """The preferred (fewest-hop) alternative, or ``None``."""
+        if not self.alternates:
+            return None
+        return min(self.alternates, key=lambda alt: alt.hop_count)
+
+    def remove_next_hop(self, next_hop: int) -> bool:
+        before = len(self.alternates)
+        self.alternates = [a for a in self.alternates if a.next_hop != next_hop]
+        return len(self.alternates) != before
+
+
+class AomdvAgent(RoutingAgent):
+    """AOMDV-style multipath routing agent."""
+
+    PROTOCOL_NAME = "AOMDV"
+
+    def __init__(self, sim: "Simulator", node: "Node",
+                 config: Optional[AomdvConfig] = None,
+                 metrics: Optional["MetricsCollector"] = None):
+        config = config or AomdvConfig()
+        super().__init__(sim, node, config, metrics)
+        self.config: AomdvConfig = config
+
+        self.table: Dict[int, MultipathEntry] = {}
+        self.own_seq: int = 0
+        self.broadcast_id: int = 0
+        self._reply_id: int = 0
+        #: flood key -> set of first hops already answered / forwarded.
+        self._seen_rreqs: Dict[tuple, dict] = {}
+        self._discoveries: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # table management
+    # ------------------------------------------------------------------ #
+    def entry_for(self, dst: int) -> Optional[MultipathEntry]:
+        entry = self.table.get(dst)
+        if entry is None or not entry.alternates:
+            return None
+        if entry.expire_time < self.sim.now:
+            entry.alternates.clear()
+            return None
+        return entry
+
+    def add_route(self, dst: int, next_hop: int, hop_count: int, seq: int) -> None:
+        """Add an alternative next hop toward ``dst`` (AOMDV update rule)."""
+        expire = self.sim.now + self.config.active_route_timeout
+        entry = self.table.get(dst)
+        if entry is None or seq > entry.seq:
+            entry = MultipathEntry(destination=dst, seq=seq, expire_time=expire)
+            self.table[dst] = entry
+        elif seq < entry.seq:
+            return  # stale information
+        entry.expire_time = max(entry.expire_time, expire)
+        for alt in entry.alternates:
+            if alt.next_hop == next_hop:
+                alt.hop_count = min(alt.hop_count, hop_count)
+                return
+        if len(entry.alternates) < self.config.max_alternates:
+            entry.alternates.append(AlternateRoute(next_hop, hop_count, seq))
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def _route_data(self, packet: Packet, originated: bool) -> None:
+        entry = self.entry_for(packet.dst)
+        if entry is not None:
+            best = entry.best()
+            entry.expire_time = max(entry.expire_time,
+                                    self.sim.now + self.config.active_route_timeout)
+            self.send_data(packet, best.next_hop)
+            return
+        if originated or packet.src == self.node_id:
+            self.buffer_packet(packet)
+            self._start_discovery(packet.dst)
+        else:
+            self.drop_no_route(packet)
+
+    # ------------------------------------------------------------------ #
+    # discovery
+    # ------------------------------------------------------------------ #
+    def _start_discovery(self, dst: int) -> None:
+        if dst in self._discoveries:
+            return
+        state = {"retries": 0, "timer": None}
+        self._discoveries[dst] = state
+        self._send_rreq(dst, state)
+
+    def _send_rreq(self, dst: int, state: dict) -> None:
+        self.broadcast_id += 1
+        self.own_seq += 1
+        entry = self.table.get(dst)
+        header = RreqHeader(origin=self.node_id, target=dst,
+                            broadcast_id=self.broadcast_id,
+                            origin_seq=self.own_seq,
+                            target_seq=entry.seq if entry else 0,
+                            hop_count=0, path=[self.node_id])
+        packet = Packet(kind=PacketKind.RREQ, src=self.node_id, dst=dst,
+                        size=control_packet_size(RREQ_BASE_SIZE, 1),
+                        ttl=self.config.net_diameter_ttl,
+                        timestamp=self.sim.now)
+        packet.set_header(RREQ_KEY, header)
+        self._seen_rreqs[header.flood_key()] = {"forwarded": True, "replies": 0,
+                                                "time": self.sim.now}
+        self.send_control(packet, BROADCAST)
+        timeout = self.config.discovery_timeout * (2 ** state["retries"])
+        state["timer"] = self.sim.schedule(timeout, self._discovery_timeout, dst)
+
+    def _discovery_timeout(self, dst: int) -> None:
+        state = self._discoveries.get(dst)
+        if state is None:
+            return
+        if self.entry_for(dst) is not None:
+            self._finish_discovery(dst)
+            return
+        state["retries"] += 1
+        if state["retries"] > self.config.max_rreq_retries:
+            del self._discoveries[dst]
+            self.drop_buffered(dst)
+            return
+        self._send_rreq(dst, state)
+
+    def _finish_discovery(self, dst: int) -> None:
+        state = self._discoveries.pop(dst, None)
+        if state is not None and state["timer"] is not None:
+            state["timer"].cancel()
+        for packet in self.flush_buffer(dst):
+            self._route_data(packet, originated=True)
+
+    # ------------------------------------------------------------------ #
+    # control handlers
+    # ------------------------------------------------------------------ #
+    def _handle_rreq(self, packet: Packet, prev_hop: int) -> None:
+        header: RreqHeader = packet.get_header(RREQ_KEY)
+        key = header.flood_key()
+        seen = self._seen_rreqs.get(key)
+
+        # Reverse route toward the origin via this copy's previous hop.
+        self.add_route(header.origin, prev_hop, header.hop_count + 1,
+                       header.origin_seq)
+
+        if header.target == self.node_id:
+            # Destination: answer multiple disjoint (distinct-first-hop)
+            # copies, up to the configured limit.
+            if seen is None:
+                seen = {"forwarded": False, "replies": 0, "time": self.sim.now,
+                        "first_hops": set()}
+                self._seen_rreqs[key] = seen
+            first_hops = seen.setdefault("first_hops", set())
+            if prev_hop in first_hops:
+                return
+            if seen["replies"] >= self.config.max_replies_per_flood:
+                return
+            first_hops.add(prev_hop)
+            seen["replies"] += 1
+            self.own_seq = max(self.own_seq, header.target_seq) + 1
+            self._send_rrep(header.origin, prev_hop)
+            return
+
+        if seen is not None:
+            return  # intermediate nodes forward only the first copy
+        self._seen_rreqs[key] = {"forwarded": True, "replies": 0,
+                                 "time": self.sim.now}
+        if packet.ttl <= 1:
+            return
+        forwarded = packet.copy()
+        forwarded.ttl -= 1
+        fwd_header: RreqHeader = forwarded.get_header(RREQ_KEY)
+        fwd_header.hop_count += 1
+        fwd_header.path.append(self.node_id)
+        forwarded.size = control_packet_size(RREQ_BASE_SIZE, len(fwd_header.path))
+        self.send_control(forwarded, BROADCAST)
+
+    def _send_rrep(self, origin: int, next_hop: int) -> None:
+        self._reply_id += 1
+        header = RrepHeader(origin=origin, target=self.node_id,
+                            reply_id=self._reply_id, target_seq=self.own_seq,
+                            hop_count=0, path=[])
+        packet = Packet(kind=PacketKind.RREP, src=self.node_id, dst=origin,
+                        size=control_packet_size(RREP_BASE_SIZE, 2),
+                        ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        packet.set_header(RREP_KEY, header)
+        self.send_control(packet, next_hop)
+
+    def _handle_rrep(self, packet: Packet, prev_hop: int) -> None:
+        header: RrepHeader = packet.get_header(RREP_KEY)
+        self.add_route(header.target, prev_hop, header.hop_count + 1,
+                       header.target_seq)
+        if header.origin == self.node_id:
+            self._finish_discovery(header.target)
+            return
+        entry = self.entry_for(header.origin)
+        if entry is None:
+            return
+        forwarded = packet.copy()
+        fwd_header: RrepHeader = forwarded.get_header(RREP_KEY)
+        fwd_header.hop_count += 1
+        self.send_control(forwarded, entry.best().next_hop)
+
+    def _handle_rerr(self, packet: Packet, prev_hop: int) -> None:
+        header: RerrHeader = packet.get_header(RERR_KEY)
+        invalidated: Dict[int, int] = {}
+        for dst, seq in header.unreachable.items():
+            entry = self.table.get(dst)
+            if entry is not None and entry.remove_next_hop(prev_hop):
+                if not entry.alternates:
+                    entry.seq = max(entry.seq, seq)
+                    invalidated[dst] = entry.seq
+        if invalidated:
+            self._broadcast_rerr(invalidated, header.broken_link)
+
+    def _broadcast_rerr(self, unreachable: Dict[int, int], broken_link) -> None:
+        header = RerrHeader(reporter=self.node_id, broken_link=broken_link,
+                            unreachable=dict(unreachable))
+        packet = Packet(kind=PacketKind.RERR, src=self.node_id, dst=BROADCAST,
+                        size=control_packet_size(RERR_BASE_SIZE, len(unreachable)),
+                        ttl=1, timestamp=self.sim.now)
+        packet.set_header(RERR_KEY, header)
+        self.send_control(packet, BROADCAST)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        exhausted: Dict[int, int] = {}
+        for dst, entry in self.table.items():
+            if entry.remove_next_hop(next_hop) and not entry.alternates:
+                entry.seq += 1
+                exhausted[dst] = entry.seq
+        if exhausted:
+            self._broadcast_rerr(exhausted, (self.node_id, next_hop))
+        if self.node.queue is not None:
+            self.node.queue.remove_matching(
+                lambda p: p.mac_dst == next_hop and p.is_data)
+        if not packet.is_data:
+            return
+        # Fail over to an alternative next hop if one survives.
+        entry = self.entry_for(packet.dst)
+        if entry is not None:
+            self.send_data(packet, entry.best().next_hop)
+            return
+        if packet.src == self.node_id:
+            self.buffer_packet(packet)
+            self._start_discovery(packet.dst)
+        else:
+            self.drop_no_route(packet)

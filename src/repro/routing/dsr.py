@@ -1,0 +1,335 @@
+"""DSR — Dynamic Source Routing (baseline).
+
+Implements the behaviours of DSR that drive the paper's comparison:
+
+* source routing: every data packet carries its full path; intermediate
+  nodes forward by advancing an index, so they need no per-destination
+  state;
+* aggressive route caching: replies, forwarded source routes and
+  promiscuously overheard packets all populate the cache, and intermediate
+  nodes may answer route requests from their caches — this is what gives
+  DSR its low control overhead and also what makes it collapse at high
+  mobility, because cached routes go stale (paper Figure 10);
+* route discovery by RREQ flooding with accumulated node lists;
+* route maintenance: MAC-layer failure feedback removes the broken link
+  from the cache, a route error is sent back to the packet's source, and
+  the packet is *salvaged* onto an alternative cached route when one
+  exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.addressing import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.routing.base import RoutingAgent, RoutingConfig
+from repro.routing.dsr_cache import DsrRouteCache
+from repro.routing.packets import (
+    RREQ_KEY, RREP_KEY, RERR_KEY, SRCROUTE_KEY,
+    RreqHeader, RrepHeader, RerrHeader, SourceRouteHeader,
+    RREQ_BASE_SIZE, RREP_BASE_SIZE, RERR_BASE_SIZE, control_packet_size,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class DsrConfig(RoutingConfig):
+    """DSR-specific parameters."""
+
+    #: Alternative paths cached per destination.
+    max_cached_paths: int = 4
+    #: Whether intermediate nodes answer RREQs from their caches.
+    reply_from_cache: bool = True
+    #: Whether overheard packets (promiscuous mode) populate the cache.
+    promiscuous_learning: bool = True
+    #: Maximum number of times one data packet may be salvaged onto an
+    #: alternative cached route after a link failure.
+    max_salvage_count: int = 1
+    #: Lifetime of an entry in the duplicate-RREQ cache.
+    flood_cache_timeout: float = 10.0
+
+
+class DsrAgent(RoutingAgent):
+    """DSR routing agent for one node."""
+
+    PROTOCOL_NAME = "DSR"
+
+    def __init__(self, sim: "Simulator", node: "Node",
+                 config: Optional[DsrConfig] = None,
+                 metrics: Optional["MetricsCollector"] = None):
+        config = config or DsrConfig()
+        super().__init__(sim, node, config, metrics)
+        self.config: DsrConfig = config
+
+        self.cache = DsrRouteCache(node.node_id, config.max_cached_paths)
+        self.broadcast_id: int = 0
+        self._reply_id: int = 0
+        self._seen_rreqs: Dict[tuple, float] = {}
+        #: destination -> (retries, timer) for in-flight discoveries.
+        self._discoveries: Dict[int, dict] = {}
+        #: data-packet uid -> how many times it has been salvaged here.
+        self._salvage_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def _route_data(self, packet: Packet, originated: bool) -> None:
+        if originated or packet.src == self.node_id:
+            self._originate_data(packet)
+        else:
+            self._forward_data(packet)
+
+    def _originate_data(self, packet: Packet) -> None:
+        path = self.cache.find(packet.dst)
+        if path is None:
+            self.buffer_packet(packet)
+            self._start_discovery(packet.dst)
+            return
+        header = SourceRouteHeader(path=list(path), index=0)
+        packet.set_header(SRCROUTE_KEY, header)
+        self.send_data(packet, header.next_hop())
+
+    def _forward_data(self, packet: Packet) -> None:
+        header: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if header is None:
+            self.drop_no_route(packet)
+            return
+        # Position ourselves on the source route and advance.
+        if self.node_id in header.path:
+            header.index = header.path.index(self.node_id)
+        if header.remaining_hops() <= 0:
+            self.drop_no_route(packet)
+            return
+        # Learn the route we are relaying (both directions).
+        self.cache.learn_from_route(header.path)
+        self.send_data(packet, header.next_hop())
+
+    # ------------------------------------------------------------------ #
+    # route discovery
+    # ------------------------------------------------------------------ #
+    def _start_discovery(self, dst: int) -> None:
+        if dst in self._discoveries:
+            return
+        state = {"retries": 0, "timer": None}
+        self._discoveries[dst] = state
+        self._send_rreq(dst, state)
+
+    def _send_rreq(self, dst: int, state: dict) -> None:
+        self.broadcast_id += 1
+        header = RreqHeader(origin=self.node_id, target=dst,
+                            broadcast_id=self.broadcast_id,
+                            hop_count=0, path=[self.node_id])
+        packet = Packet(kind=PacketKind.RREQ, src=self.node_id, dst=dst,
+                        size=control_packet_size(RREQ_BASE_SIZE, 1),
+                        ttl=self.config.net_diameter_ttl,
+                        timestamp=self.sim.now)
+        packet.set_header(RREQ_KEY, header)
+        self._seen_rreqs[header.flood_key()] = self.sim.now
+        self.send_control(packet, BROADCAST)
+        timeout = self.config.discovery_timeout * (2 ** state["retries"])
+        state["timer"] = self.sim.schedule(timeout, self._discovery_timeout, dst)
+
+    def _discovery_timeout(self, dst: int) -> None:
+        state = self._discoveries.get(dst)
+        if state is None:
+            return
+        if self.cache.has_route(dst):
+            self._finish_discovery(dst)
+            return
+        state["retries"] += 1
+        if state["retries"] > self.config.max_rreq_retries:
+            del self._discoveries[dst]
+            self.drop_buffered(dst)
+            return
+        self._send_rreq(dst, state)
+
+    def _finish_discovery(self, dst: int) -> None:
+        state = self._discoveries.pop(dst, None)
+        if state is not None and state["timer"] is not None:
+            state["timer"].cancel()
+        for packet in self.flush_buffer(dst):
+            self._originate_data(packet)
+
+    # ------------------------------------------------------------------ #
+    # control packet handlers
+    # ------------------------------------------------------------------ #
+    def _handle_rreq(self, packet: Packet, prev_hop: int) -> None:
+        header: RreqHeader = packet.get_header(RREQ_KEY)
+        key = header.flood_key()
+        if key in self._seen_rreqs or self.node_id in header.path:
+            return
+        self._seen_rreqs[key] = self.sim.now
+        self._expire_flood_cache()
+
+        # The accumulated path (reversed) is a route back to the origin.
+        reverse = list(reversed(header.path + [self.node_id]))
+        self.cache.add_path(reverse)
+
+        if header.target == self.node_id:
+            full_path = list(header.path) + [self.node_id]
+            self._send_rrep(full_path, origin=header.origin, from_cache=False)
+            return
+
+        if self.config.reply_from_cache:
+            cached = self.cache.find(header.target)
+            if cached is not None:
+                # Splice: accumulated path + cached path (minus duplicate
+                # self); refuse if the splice would loop.
+                candidate = list(header.path) + list(cached)
+                if len(set(candidate)) == len(candidate):
+                    self._send_rrep(candidate, origin=header.origin,
+                                    from_cache=True)
+                    return
+
+        if packet.ttl <= 1:
+            return
+        forwarded = packet.copy()
+        forwarded.ttl -= 1
+        fwd_header: RreqHeader = forwarded.get_header(RREQ_KEY)
+        fwd_header.hop_count += 1
+        fwd_header.path.append(self.node_id)
+        forwarded.size = control_packet_size(RREQ_BASE_SIZE, len(fwd_header.path))
+        self.send_control(forwarded, BROADCAST)
+
+    def _send_rrep(self, full_path: list, origin: int, from_cache: bool) -> None:
+        """Send a route reply carrying ``full_path`` back to ``origin``.
+
+        The reply travels along the reversed prefix of ``full_path`` from
+        this node back to the origin, itself a source route.
+        """
+        if self.node_id not in full_path:
+            return
+        my_index = full_path.index(self.node_id)
+        return_path = list(reversed(full_path[:my_index + 1]))
+        if len(return_path) < 2:
+            return
+        self._reply_id += 1
+        header = RrepHeader(origin=origin, target=full_path[-1],
+                            reply_id=self._reply_id, hop_count=0,
+                            path=list(full_path), from_cache=from_cache)
+        packet = Packet(kind=PacketKind.RREP, src=self.node_id, dst=origin,
+                        size=control_packet_size(RREP_BASE_SIZE, len(full_path)),
+                        ttl=self.config.net_diameter_ttl,
+                        timestamp=self.sim.now)
+        packet.set_header(RREP_KEY, header)
+        packet.set_header(SRCROUTE_KEY, SourceRouteHeader(path=return_path, index=0))
+        self.send_control(packet, return_path[1])
+
+    def _handle_rrep(self, packet: Packet, prev_hop: int) -> None:
+        header: RrepHeader = packet.get_header(RREP_KEY)
+        self.cache.learn_from_route(header.path)
+        if header.origin == self.node_id:
+            self._finish_discovery(header.target)
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None:
+            return
+        if self.node_id in route.path:
+            route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        header.hop_count += 1
+        self.send_control(packet.copy(), route.next_hop())
+
+    def _handle_rerr(self, packet: Packet, prev_hop: int) -> None:
+        header: RerrHeader = packet.get_header(RERR_KEY)
+        a, b = header.broken_link
+        self.cache.remove_link(a, b)
+        if header.target_origin == self.node_id:
+            return  # we are the source the error was meant for
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is None:
+            return
+        if self.node_id in route.path:
+            route.index = route.path.index(self.node_id)
+        if route.remaining_hops() <= 0:
+            return
+        self.send_control(packet.copy(), route.next_hop())
+
+    # ------------------------------------------------------------------ #
+    # promiscuous learning
+    # ------------------------------------------------------------------ #
+    def tap(self, packet: Packet, prev_hop: int) -> None:
+        """Learn routes from packets overheard in promiscuous mode."""
+        if not self.config.promiscuous_learning:
+            return
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is not None:
+            self.cache.learn_from_route(route.path)
+            return
+        rrep: Optional[RrepHeader] = packet.headers.get(RREP_KEY)
+        if rrep is not None:
+            self.cache.learn_from_route(rrep.path)
+
+    # ------------------------------------------------------------------ #
+    # route maintenance
+    # ------------------------------------------------------------------ #
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        self.cache.remove_link(self.node_id, next_hop)
+        if self.node.queue is not None:
+            self.node.queue.remove_matching(
+                lambda p: p.mac_dst == next_hop and p.is_data)
+        if not packet.is_data:
+            return
+        self._send_rerr_to_source(packet, broken_link=(self.node_id, next_hop))
+        self._try_salvage(packet)
+
+    def _send_rerr_to_source(self, packet: Packet, broken_link) -> None:
+        origin = packet.src
+        if origin == self.node_id:
+            return
+        return_path = None
+        route: Optional[SourceRouteHeader] = packet.headers.get(SRCROUTE_KEY)
+        if route is not None and self.node_id in route.path:
+            my_index = route.path.index(self.node_id)
+            candidate = list(reversed(route.path[:my_index + 1]))
+            if len(candidate) >= 2:
+                return_path = candidate
+        if return_path is None:
+            cached = self.cache.find(origin)
+            if cached is not None:
+                return_path = cached
+        if return_path is None:
+            return
+        header = RerrHeader(reporter=self.node_id, broken_link=broken_link,
+                            target_origin=origin)
+        rerr = Packet(kind=PacketKind.RERR, src=self.node_id, dst=origin,
+                      size=control_packet_size(RERR_BASE_SIZE, 2),
+                      ttl=self.config.net_diameter_ttl, timestamp=self.sim.now)
+        rerr.set_header(RERR_KEY, header)
+        rerr.set_header(SRCROUTE_KEY, SourceRouteHeader(path=return_path, index=0))
+        self.send_control(rerr, return_path[1])
+
+    def _try_salvage(self, packet: Packet) -> None:
+        """Retry the packet on an alternative cached route, if allowed."""
+        count = self._salvage_counts.get(packet.uid, 0)
+        if count >= self.config.max_salvage_count:
+            self.drop_no_route(packet)
+            return
+        alternative = self.cache.find(packet.dst)
+        if alternative is None:
+            if packet.src == self.node_id:
+                self.buffer_packet(packet)
+                self._start_discovery(packet.dst)
+            else:
+                self.drop_no_route(packet)
+            return
+        self._salvage_counts[packet.uid] = count + 1
+        if len(self._salvage_counts) > 4096:
+            self._salvage_counts.clear()
+        header = SourceRouteHeader(path=list(alternative), index=0)
+        packet.set_header(SRCROUTE_KEY, header)
+        self.send_data(packet, header.next_hop())
+
+    # ------------------------------------------------------------------ #
+    def _expire_flood_cache(self) -> None:
+        deadline = self.sim.now - self.config.flood_cache_timeout
+        if len(self._seen_rreqs) > 256:
+            self._seen_rreqs = {k: t for k, t in self._seen_rreqs.items()
+                                if t >= deadline}

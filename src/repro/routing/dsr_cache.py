@@ -1,0 +1,159 @@
+"""DSR path cache.
+
+DSR nodes remember complete source routes they have learned from route
+replies, from source routes carried by data packets they forward, and from
+packets overheard promiscuously.  The cache is the source of DSR's low
+overhead — and of its fragility under mobility, because cached paths go
+stale and there is no freshness information attached to them.  Both
+effects are what the paper's Figures 8–11 contrast against AODV and MTS.
+
+The cache stores complete paths (``self -> ... -> destination``) per
+destination, capped per destination, with FIFO eviction.  Links reported
+broken are scrubbed from every cached path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class DsrRouteCache:
+    """Path cache for one DSR node.
+
+    Parameters
+    ----------
+    owner:
+        Node id of the cache's owner; every stored path starts with it.
+    max_paths_per_destination:
+        Cap on the number of alternative paths remembered per destination.
+    """
+
+    def __init__(self, owner: int, max_paths_per_destination: int = 4):
+        if max_paths_per_destination < 1:
+            raise ValueError("must keep at least one path per destination")
+        self.owner = owner
+        self.max_paths = max_paths_per_destination
+        #: destination -> ordered list of paths (each starts with owner).
+        self._paths: Dict[int, List[Tuple[int, ...]]] = {}
+        #: Statistics
+        self.hits: int = 0
+        self.misses: int = 0
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def add_path(self, path: Sequence[int]) -> bool:
+        """Add ``path`` (owner first) and all of its prefixes to the cache.
+
+        Returns True if at least one new path was stored.  Paths that do
+        not start at the owner, contain loops, or are single nodes are
+        rejected.
+        """
+        path = tuple(path)
+        if len(path) < 2 or path[0] != self.owner:
+            return False
+        if len(set(path)) != len(path):
+            return False  # looping path
+        added = False
+        # Store the path to its final destination and to every intermediate
+        # node (prefix property of source routes).
+        for end in range(2, len(path) + 1):
+            prefix = path[:end]
+            destination = prefix[-1]
+            bucket = self._paths.setdefault(destination, [])
+            if prefix in bucket:
+                continue
+            bucket.append(prefix)
+            if len(bucket) > self.max_paths:
+                bucket.pop(0)
+            added = True
+        return added
+
+    def learn_from_route(self, full_path: Sequence[int]) -> bool:
+        """Learn from a complete route that may not start at the owner.
+
+        If the owner appears anywhere in ``full_path``, the suffix starting
+        at the owner (towards the path's end) and the reversed prefix
+        (towards the path's start) are both added — DSR assumes
+        bidirectional links.
+        """
+        full_path = list(full_path)
+        if self.owner not in full_path:
+            return False
+        idx = full_path.index(self.owner)
+        added = False
+        suffix = full_path[idx:]
+        if len(suffix) >= 2:
+            added |= self.add_path(suffix)
+        prefix_reversed = list(reversed(full_path[:idx + 1]))
+        if len(prefix_reversed) >= 2:
+            added |= self.add_path(prefix_reversed)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def find(self, destination: int) -> Optional[List[int]]:
+        """Return the shortest cached path to ``destination`` (owner first)."""
+        bucket = self._paths.get(destination)
+        if not bucket:
+            self.misses += 1
+            return None
+        best = min(bucket, key=len)
+        self.hits += 1
+        return list(best)
+
+    def all_paths(self, destination: int) -> List[List[int]]:
+        """Every cached path to ``destination`` (shortest first)."""
+        bucket = self._paths.get(destination, [])
+        return [list(p) for p in sorted(bucket, key=len)]
+
+    def has_route(self, destination: int) -> bool:
+        """Whether at least one path to ``destination`` is cached."""
+        return bool(self._paths.get(destination))
+
+    def destinations(self) -> List[int]:
+        """Destinations with at least one cached path."""
+        return sorted(d for d, bucket in self._paths.items() if bucket)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def remove_link(self, a: int, b: int) -> int:
+        """Remove every cached path using link ``a–b`` (either direction).
+
+        Returns the number of paths removed.
+        """
+        removed = 0
+        for destination in list(self._paths):
+            bucket = self._paths[destination]
+            kept = []
+            for path in bucket:
+                if self._uses_link(path, a, b):
+                    removed += 1
+                else:
+                    kept.append(path)
+            if kept:
+                self._paths[destination] = kept
+            else:
+                del self._paths[destination]
+        return removed
+
+    @staticmethod
+    def _uses_link(path: Tuple[int, ...], a: int, b: int) -> bool:
+        for u, v in zip(path, path[1:]):
+            if (u, v) == (a, b) or (u, v) == (b, a):
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every cached path."""
+        self._paths.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._paths.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<DsrRouteCache owner={self.owner} destinations="
+                f"{len(self._paths)} paths={len(self)}>")

@@ -1,0 +1,27 @@
+"""Scenario construction and execution.
+
+* :class:`~repro.scenario.config.ScenarioConfig` — every knob of a
+  simulation run (paper §IV-A defaults plus scaled-down variants).
+* :class:`~repro.scenario.builder.ScenarioBuilder` /
+  :class:`~repro.scenario.builder.Scenario` — wires nodes, radios, routing
+  agents, TCP flows, the eavesdropper and the metrics collector together.
+* :mod:`repro.scenario.results` — per-run and aggregated result records.
+* :mod:`repro.scenario.runner` — convenience functions to run a single
+  scenario or several replications with independent seeds.
+"""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.builder import Scenario, ScenarioBuilder
+from repro.scenario.results import ScenarioResult, AggregateResult, aggregate_results
+from repro.scenario.runner import run_scenario, run_replications
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioResult",
+    "AggregateResult",
+    "aggregate_results",
+    "run_scenario",
+    "run_replications",
+]

@@ -1,0 +1,261 @@
+"""Scenario builder: from a :class:`ScenarioConfig` to a runnable network.
+
+The builder performs the role of the paper's OTcl scenario scripts: it
+instantiates the simulator, the shared wireless channel, one full protocol
+stack per node (mobility, interface, priority queue, 802.11 MAC, routing
+agent), the TCP Reno/FTP flows, the passive eavesdropper, and the metrics
+collector, and wires everything together.  The resulting
+:class:`Scenario` exposes the pieces for inspection and a :meth:`run`
+method that executes the simulation and assembles a
+:class:`~repro.scenario.results.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.ftp import FtpApplication
+from repro.core.mts import MtsAgent, MtsConfig
+from repro.mac.dcf import DcfMac
+from repro.mac.params import MacParams
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.relay import normalize_relay_counts
+from repro.metrics.security import (
+    highest_interception_ratio,
+    interception_ratio,
+)
+from repro.metrics.tcp import compute_tcp_performance
+from repro.mobility.base import StaticMobility
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.net.channel import WirelessChannel
+from repro.net.interface import WirelessInterface
+from repro.net.node import Node
+from repro.net.propagation import RangePropagation
+from repro.net.queue import PriorityQueue
+from repro.routing.aodv import AodvAgent, AodvConfig
+from repro.routing.aomdv import AomdvAgent, AomdvConfig
+from repro.routing.dsr import DsrAgent, DsrConfig
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import ScenarioResult
+from repro.security.eavesdropper import EavesdropperMonitor, choose_eavesdropper
+from repro.sim.engine import Simulator
+from repro.transport.tcp_base import TcpConfig
+from repro.transport.tcp_reno import TcpRenoSender
+from repro.transport.tcp_sink import TcpSink
+
+#: Base ports used for the TCP flows created by the builder.
+SENDER_PORT_BASE = 1000
+SINK_PORT_BASE = 2000
+
+
+class Scenario:
+    """A fully wired simulation ready to run."""
+
+    def __init__(self, config: ScenarioConfig, sim: Simulator,
+                 channel: WirelessChannel, nodes: List[Node],
+                 metrics: MetricsCollector,
+                 flows: List[Tuple[int, int]],
+                 senders: List[TcpRenoSender], sinks: List[TcpSink],
+                 apps: List[FtpApplication],
+                 eavesdropper: Optional[EavesdropperMonitor]):
+        self.config = config
+        self.sim = sim
+        self.channel = channel
+        self.nodes = nodes
+        self.metrics = metrics
+        self.flows = flows
+        self.senders = senders
+        self.sinks = sinks
+        self.apps = apps
+        self.eavesdropper = eavesdropper
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self.nodes[node_id]
+
+    def routing_agent(self, node_id: int):
+        """The routing agent of node ``node_id``."""
+        return self.nodes[node_id].routing_agent
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ScenarioResult:
+        """Execute the simulation and return the measured metrics."""
+        if self._ran:
+            raise RuntimeError("scenario has already been run")
+        self._ran = True
+        self.sim.run(until=self.config.sim_time)
+        return self.collect_results()
+
+    def collect_results(self) -> ScenarioResult:
+        """Assemble a :class:`ScenarioResult` from the current state."""
+        collector = self.metrics
+        relay_counts = collector.relay_count_map()
+        normalization = normalize_relay_counts(relay_counts)
+        pr = collector.unique_tcp_delivered()
+        pe = collector.unique_tcp_eavesdropped()
+        performance = compute_tcp_performance(collector, self.config.sim_time)
+        return ScenarioResult(
+            protocol=self.config.protocol,
+            seed=self.config.seed,
+            max_speed=self.config.max_speed,
+            sim_time=self.config.sim_time,
+            flows=list(self.flows),
+            eavesdropper_node=(self.eavesdropper.node.node_id
+                               if self.eavesdropper is not None else None),
+            participating_nodes=normalization.participating,
+            relay_std=normalization.std,
+            relay_counts=dict(relay_counts),
+            packets_eavesdropped=pe,
+            packets_received=pr,
+            interception_ratio=interception_ratio(pe, pr),
+            highest_interception_ratio=highest_interception_ratio(
+                collector.relay_unique_tcp_counts(), pr),
+            mean_delay=performance.mean_delay,
+            throughput_segments=performance.throughput_segments,
+            throughput_kbps=performance.throughput_kbps,
+            delivery_rate=performance.delivery_rate,
+            control_overhead=performance.control_overhead,
+            sender_stats=[sender.stats() for sender in self.senders],
+            sink_stats=[sink.stats() for sink in self.sinks],
+            control_by_kind=dict(collector.control_sent),
+            events_processed=self.sim.processed_events,
+        )
+
+
+class ScenarioBuilder:
+    """Builds a :class:`Scenario` from a :class:`ScenarioConfig`."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> Scenario:
+        config = self.config
+        sim = Simulator(seed=config.seed, trace=config.trace)
+        propagation = RangePropagation(config.transmission_range)
+        channel = WirelessChannel(sim, propagation)
+        mac_params = MacParams(data_rate=config.data_rate,
+                               basic_rate=config.basic_rate,
+                               retry_limit=config.mac_retry_limit,
+                               use_rts_cts=config.use_rts_cts)
+
+        flows = self._select_flows(sim)
+        metrics = MetricsCollector(sim, track_flows=flows)
+
+        nodes = [self._build_node(sim, channel, mac_params, metrics, node_id)
+                 for node_id in range(config.n_nodes)]
+
+        senders, sinks, apps = self._build_traffic(sim, nodes, flows)
+        eavesdropper = self._build_eavesdropper(sim, nodes, flows, metrics)
+
+        return Scenario(config=config, sim=sim, channel=channel, nodes=nodes,
+                        metrics=metrics, flows=flows, senders=senders,
+                        sinks=sinks, apps=apps, eavesdropper=eavesdropper)
+
+    # ------------------------------------------------------------------ #
+    def _select_flows(self, sim: Simulator) -> List[Tuple[int, int]]:
+        config = self.config
+        if config.flows is not None:
+            return list(config.flows)
+        rng = sim.rng("traffic")
+        if 2 * config.n_flows > config.n_nodes:
+            raise ValueError("not enough nodes for the requested number of "
+                             "disjoint flows")
+        chosen = rng.choice(config.n_nodes, size=2 * config.n_flows,
+                            replace=False)
+        return [(int(chosen[2 * i]), int(chosen[2 * i + 1]))
+                for i in range(config.n_flows)]
+
+    def _build_mobility(self, sim: Simulator, node_id: int):
+        config = self.config
+        rng = sim.rng(f"mobility.{node_id}")
+        if config.mobility_model == "static":
+            if config.static_positions is not None:
+                x, y = config.static_positions[node_id]
+            else:
+                x = float(rng.uniform(0, config.field_size[0]))
+                y = float(rng.uniform(0, config.field_size[1]))
+            return StaticMobility(x, y)
+        if config.mobility_model == "random_walk":
+            return RandomWalk(rng, field_size=config.field_size,
+                              max_speed=config.max_speed,
+                              min_speed=config.min_speed)
+        return RandomWaypoint(rng, field_size=config.field_size,
+                              max_speed=config.max_speed,
+                              min_speed=config.min_speed,
+                              pause_time=config.pause_time)
+
+    def _build_node(self, sim: Simulator, channel: WirelessChannel,
+                    mac_params: MacParams, metrics: MetricsCollector,
+                    node_id: int) -> Node:
+        config = self.config
+        node = Node(sim, node_id, mobility=self._build_mobility(sim, node_id))
+        interface = WirelessInterface(sim, node, channel)
+        queue = PriorityQueue(capacity=config.queue_capacity)
+        mac = DcfMac(sim, node, interface, queue, mac_params)
+        node.attach_stack(interface, queue, mac)
+        self._build_routing(sim, node, metrics)
+        return node
+
+    def _build_routing(self, sim: Simulator, node: Node,
+                       metrics: MetricsCollector):
+        config = self.config
+        protocol = config.protocol
+        if protocol == "MTS":
+            mts_config = MtsConfig(max_disjoint_paths=config.mts_max_paths,
+                                   check_interval=config.mts_check_interval,
+                                   strict_node_disjoint=config.mts_strict_disjoint)
+            return MtsAgent(sim, node, mts_config, metrics)
+        if protocol == "DSR":
+            return DsrAgent(sim, node, DsrConfig(), metrics)
+        if protocol == "AODV":
+            return AodvAgent(sim, node, AodvConfig(), metrics)
+        if protocol == "AOMDV":
+            return AomdvAgent(sim, node, AomdvConfig(), metrics)
+        raise ValueError(f"unsupported protocol {protocol!r}")
+
+    def _build_traffic(self, sim: Simulator, nodes: List[Node],
+                       flows: List[Tuple[int, int]]):
+        config = self.config
+        tcp_config = TcpConfig(packet_size=config.tcp_packet_size,
+                               window=config.tcp_window)
+        rng = sim.rng("traffic_start")
+        senders: List[TcpRenoSender] = []
+        sinks: List[TcpSink] = []
+        apps: List[FtpApplication] = []
+        for index, (src, dst) in enumerate(flows):
+            sender_port = SENDER_PORT_BASE + index
+            sink_port = SINK_PORT_BASE + index
+            sink = TcpSink(sim, nodes[dst], sink_port, tcp_config)
+            sender = TcpRenoSender(sim, nodes[src], sender_port, dst,
+                                   sink_port, tcp_config)
+            start = config.traffic_start + float(rng.uniform(0.0, 0.5))
+            app = FtpApplication(sim, sender, start_time=start)
+            senders.append(sender)
+            sinks.append(sink)
+            apps.append(app)
+        return senders, sinks, apps
+
+    def _build_eavesdropper(self, sim: Simulator, nodes: List[Node],
+                            flows: List[Tuple[int, int]],
+                            metrics: MetricsCollector):
+        config = self.config
+        if not config.with_eavesdropper:
+            return None
+        endpoints: List[int] = []
+        for src, dst in flows:
+            endpoints.extend((src, dst))
+        if config.eavesdropper_node is not None:
+            chosen = config.eavesdropper_node
+            if chosen in endpoints:
+                raise ValueError("the eavesdropper must be an intermediate "
+                                 "node, not a flow endpoint")
+        else:
+            chosen = choose_eavesdropper([node.node_id for node in nodes],
+                                         exclude=endpoints,
+                                         rng=sim.rng("eavesdropper"))
+        return EavesdropperMonitor(nodes[chosen], metrics=metrics,
+                                   flow_filter=flows)

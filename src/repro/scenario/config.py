@@ -1,0 +1,157 @@
+"""Scenario configuration.
+
+:class:`ScenarioConfig` captures every parameter of a simulation run.  The
+defaults of :meth:`ScenarioConfig.paper_default` follow the paper's §IV-A
+setup (50 nodes, 1000 m × 1000 m, random waypoint with 1 s pause, 250 m
+range, 802.11 MAC, TCP Reno/FTP traffic, 200 s, one random eavesdropper);
+:meth:`ScenarioConfig.small` gives a scaled-down configuration that keeps
+the same structure but finishes in well under a second, used by tests and
+as the benchmark default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+#: Routing protocols the scenario builder knows how to instantiate.
+SUPPORTED_PROTOCOLS = ("MTS", "DSR", "AODV", "AOMDV")
+
+#: Mobility models the scenario builder knows how to instantiate.
+SUPPORTED_MOBILITY = ("random_waypoint", "random_walk", "static")
+
+
+@dataclasses.dataclass
+class ScenarioConfig:
+    """All parameters of one simulation scenario.
+
+    Attributes mirror the paper's §IV-A table where applicable; everything
+    else is an implementation knob with an NS-2-flavoured default.
+    """
+
+    # --- protocol under test ------------------------------------------ #
+    protocol: str = "MTS"
+
+    # --- topology & mobility ------------------------------------------ #
+    n_nodes: int = 50
+    field_size: Tuple[float, float] = (1000.0, 1000.0)
+    mobility_model: str = "random_waypoint"
+    max_speed: float = 10.0
+    min_speed: float = 0.1
+    pause_time: float = 1.0
+    #: Explicit positions for ``mobility_model="static"`` (one per node).
+    static_positions: Optional[List[Tuple[float, float]]] = None
+
+    # --- radio & MAC --------------------------------------------------- #
+    transmission_range: float = 250.0
+    data_rate: float = 2e6
+    basic_rate: float = 1e6
+    queue_capacity: int = 50
+    mac_retry_limit: int = 7
+    use_rts_cts: bool = True
+
+    # --- traffic -------------------------------------------------------- #
+    n_flows: int = 1
+    #: Explicit ``(source, destination)`` pairs; random when ``None``.
+    flows: Optional[List[Tuple[int, int]]] = None
+    traffic_start: float = 1.0
+    tcp_packet_size: int = 1000
+    #: Maximum TCP window in segments.  Kept small (8) because a TCP
+    #: window much larger than the path's bandwidth-delay product causes
+    #: severe intra-flow self-interference over multi-hop 802.11, masking
+    #: the routing-protocol differences the paper studies (cf. Holland &
+    #: Vaidya 1999, Lim et al. 2003 — the paper's own references [4], [7]).
+    tcp_window: int = 8
+
+    # --- security ------------------------------------------------------- #
+    #: Attach a passive eavesdropper to a random intermediate node.
+    with_eavesdropper: bool = True
+    #: Force a specific node to be the eavesdropper (None = random).
+    eavesdropper_node: Optional[int] = None
+
+    # --- MTS parameters -------------------------------------------------- #
+    mts_check_interval: float = 3.0
+    mts_max_paths: int = 5
+    mts_strict_disjoint: bool = False
+
+    # --- run control ------------------------------------------------------ #
+    sim_time: float = 200.0
+    seed: int = 1
+    trace: bool = False
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        self.protocol = self.protocol.upper()
+        if self.protocol not in SUPPORTED_PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; expected one of "
+                f"{SUPPORTED_PROTOCOLS}")
+        if self.mobility_model not in SUPPORTED_MOBILITY:
+            raise ValueError(
+                f"unknown mobility model {self.mobility_model!r}; expected "
+                f"one of {SUPPORTED_MOBILITY}")
+        if self.n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if self.n_flows < 1 and not self.flows:
+            raise ValueError("need at least one traffic flow")
+        if self.sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        if self.max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if self.transmission_range <= 0:
+            raise ValueError("transmission_range must be positive")
+        if self.flows is not None:
+            for src, dst in self.flows:
+                if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+                    raise ValueError(f"flow ({src}, {dst}) references an "
+                                     f"unknown node (n_nodes={self.n_nodes})")
+                if src == dst:
+                    raise ValueError("flow source and destination must differ")
+        if (self.mobility_model == "static" and self.static_positions is not None
+                and len(self.static_positions) != self.n_nodes):
+            raise ValueError("static_positions must list one position per node")
+
+    # ------------------------------------------------------------------ #
+    # canned configurations
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_default(cls, protocol: str = "MTS", max_speed: float = 10.0,
+                      seed: int = 1, **overrides) -> "ScenarioConfig":
+        """The paper's §IV-A configuration (200 s, 50 nodes, 1 km²)."""
+        params = dict(protocol=protocol, n_nodes=50,
+                      field_size=(1000.0, 1000.0), max_speed=max_speed,
+                      pause_time=1.0, transmission_range=250.0,
+                      sim_time=200.0, seed=seed)
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def small(cls, protocol: str = "MTS", max_speed: float = 10.0,
+              seed: int = 1, **overrides) -> "ScenarioConfig":
+        """A scaled-down scenario (~25 nodes, 600 m², 25 s) for quick runs.
+
+        The reduced field keeps the node density (and hence hop counts and
+        contention levels) close to the paper's, so protocol rankings are
+        preserved while runs finish quickly.
+        """
+        params = dict(protocol=protocol, n_nodes=25,
+                      field_size=(700.0, 700.0), max_speed=max_speed,
+                      pause_time=1.0, transmission_range=250.0,
+                      sim_time=25.0, seed=seed)
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def tiny(cls, protocol: str = "MTS", seed: int = 1,
+             **overrides) -> "ScenarioConfig":
+        """A very small scenario for unit/integration tests (~10 nodes, 10 s)."""
+        params = dict(protocol=protocol, n_nodes=10,
+                      field_size=(500.0, 500.0), max_speed=5.0,
+                      pause_time=1.0, transmission_range=250.0,
+                      sim_time=10.0, seed=seed)
+        params.update(overrides)
+        return cls(**params)
+
+    def replace(self, **overrides) -> "ScenarioConfig":
+        """Return a copy of this config with ``overrides`` applied."""
+        return dataclasses.replace(self, **overrides)

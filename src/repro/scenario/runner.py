@@ -1,0 +1,64 @@
+"""Run scenarios and replications.
+
+``run_scenario`` executes one configuration; ``run_replications`` runs the
+same configuration under several independent seeds and aggregates the
+results, mirroring the paper's "each simulation is run for 200 seconds and
+repeated 5 times" methodology.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.scenario.builder import Scenario, ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import (
+    AggregateResult,
+    ScenarioResult,
+    aggregate_results,
+)
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Construct (but do not run) the scenario described by ``config``."""
+    return ScenarioBuilder(config).build()
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one scenario; return its measured metrics."""
+    return build_scenario(config).run()
+
+
+def run_replications(config: ScenarioConfig, replications: int = 5,
+                     seeds: Optional[Sequence[int]] = None,
+                     ) -> tuple[AggregateResult, List[ScenarioResult]]:
+    """Run ``replications`` independent copies of ``config`` and aggregate.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; each replication reuses it with a different
+        seed.
+    replications:
+        Number of independent runs (the paper uses 5).
+    seeds:
+        Explicit seeds, one per replication.  When omitted, seeds are
+        derived deterministically from ``config.seed`` so the whole batch
+        is reproducible.
+
+    Returns
+    -------
+    (aggregate, results):
+        The aggregate (mean/std per metric) and the individual run results.
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if seeds is None:
+        seeds = [config.seed + 1000 * index for index in range(replications)]
+    elif len(seeds) != replications:
+        raise ValueError("len(seeds) must equal the number of replications")
+    results: List[ScenarioResult] = []
+    for seed in seeds:
+        run_config = config.replace(seed=int(seed))
+        results.append(run_scenario(run_config))
+    return aggregate_results(results), results

@@ -1,0 +1,13 @@
+"""Passive-eavesdropper threat model (paper §IV-B).
+
+One randomly chosen intermediate node behaves exactly like any other
+relay, but also records every data frame it can decode within its radio
+range.  :class:`~repro.security.eavesdropper.EavesdropperMonitor` attaches
+to a node's MAC as a sniffer and feeds the metrics collector;
+:func:`~repro.security.eavesdropper.choose_eavesdropper` reproduces the
+paper's random selection among intermediate nodes.
+"""
+
+from repro.security.eavesdropper import EavesdropperMonitor, choose_eavesdropper
+
+__all__ = ["EavesdropperMonitor", "choose_eavesdropper"]

@@ -1,0 +1,121 @@
+"""The passive eavesdropper.
+
+The eavesdropper is a *legitimate-looking* node: it relays packets exactly
+like any other node, but it also records every data frame its radio can
+decode — frames addressed to it, frames it merely overhears, and broadcast
+frames alike.  It never transmits anything extra, so it is undetectable by
+the routing protocols (a passive attack, the class of attack the paper
+targets).
+
+Implementation: the monitor registers a *sniffer* on the victim node's
+MAC.  The MAC invokes sniffers for every successfully decoded frame before
+normal address filtering, which is precisely the eavesdropper's view of
+the channel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING
+
+import numpy as np
+
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.node import Node
+
+
+class EavesdropperMonitor:
+    """Records the data frames decodable at one eavesdropping node.
+
+    Parameters
+    ----------
+    node:
+        The node that plays the eavesdropper.
+    metrics:
+        Optional metrics collector to forward eavesdrop events to.
+    flow_filter:
+        Optional set of ``(src, dst)`` pairs to restrict accounting to;
+        both directions of each pair are accepted.  ``None`` records every
+        data frame.
+    """
+
+    def __init__(self, node: "Node",
+                 metrics: Optional["MetricsCollector"] = None,
+                 flow_filter: Optional[Sequence[tuple]] = None):
+        self.node = node
+        self.metrics = metrics
+        self._flows: Optional[Set[tuple]] = None
+        if flow_filter is not None:
+            self._flows = set()
+            for src, dst in flow_filter:
+                self._flows.add((src, dst))
+                self._flows.add((dst, src))
+
+        node.is_eavesdropper = True
+        if node.mac is None:
+            raise ValueError("eavesdropper node has no MAC attached yet")
+        node.mac.add_sniffer(self._sniff)
+
+        #: Total data frames decoded (all data kinds, duplicates included).
+        self.frames_captured: int = 0
+        #: Unique TCP data segment uids captured (the paper's P_e).
+        self.tcp_uids_captured: Set[int] = set()
+        #: Unique uids captured per packet kind.
+        self.uids_by_kind: Dict[str, Set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------ #
+    def _accepts(self, packet: Packet) -> bool:
+        if not packet.is_data:
+            return False
+        if self._flows is None:
+            return True
+        return (packet.src, packet.dst) in self._flows
+
+    def _sniff(self, packet: Packet, sender_id: int) -> None:
+        if not self._accepts(packet):
+            return
+        self.frames_captured += 1
+        self.uids_by_kind[packet.kind].add(packet.uid)
+        if packet.kind == PacketKind.TCP:
+            self.tcp_uids_captured.add(packet.uid)
+        if self.metrics is not None:
+            self.metrics.on_eavesdrop(self.node.node_id, packet)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def unique_tcp_captured(self) -> int:
+        """Number of distinct TCP data segments captured (P_e)."""
+        return len(self.tcp_uids_captured)
+
+    def capture_summary(self) -> Dict[str, int]:
+        """Unique captures per packet kind plus the raw frame count."""
+        summary = {kind: len(uids) for kind, uids in self.uids_by_kind.items()}
+        summary["frames_captured"] = self.frames_captured
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<EavesdropperMonitor node={self.node.node_id} "
+                f"captured={self.frames_captured}>")
+
+
+def choose_eavesdropper(node_ids: Sequence[int], exclude: Sequence[int],
+                        rng: np.random.Generator) -> int:
+    """Pick the eavesdropping node the way the paper does.
+
+    A single node is chosen uniformly at random among all nodes that are
+    *not* endpoints of a protected flow (the paper: "one randomly selected
+    intermediate node").
+
+    Raises
+    ------
+    ValueError
+        If no eligible node remains after exclusion.
+    """
+    excluded = set(exclude)
+    candidates = [node_id for node_id in node_ids if node_id not in excluded]
+    if not candidates:
+        raise ValueError("no eligible intermediate node to act as eavesdropper")
+    return int(rng.choice(candidates))

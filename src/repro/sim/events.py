@@ -1,0 +1,81 @@
+"""Event objects used by the simulation engine.
+
+Events are lightweight wrappers around a callback plus its arguments.  The
+engine orders them by ``(time, priority, sequence)`` where ``sequence`` is a
+monotonically increasing insertion counter — this makes event ordering fully
+deterministic even when many events share a timestamp, which matters for
+reproducibility of MAC contention and route-discovery races.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    priority:
+        Secondary ordering key.  Lower priorities fire first among events
+        scheduled for the same time.  Most events use the default of 0;
+        the engine's internal "stop" event uses a large priority so that
+        all same-time work completes first.
+    sequence:
+        Insertion counter used as the final tie-breaker.
+    callback / args / kwargs:
+        The work to perform.  Not part of the ordering key.
+    cancelled:
+        Set by :meth:`EventHandle.cancel`; cancelled events are skipped
+        (lazy deletion) rather than removed from the heap.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = dataclasses.field(compare=False)
+    args: tuple = dataclasses.field(default=(), compare=False)
+    kwargs: dict = dataclasses.field(default_factory=dict, compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args, **self.kwargs)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`.
+
+    Allows callers to cancel a pending event and to query whether it is
+    still pending.  Handles are cheap; they only hold a reference to the
+    underlying :class:`Event`.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event.  Idempotent; safe to call after it fired."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self._event.time:.6f} {state}>"

@@ -1,0 +1,87 @@
+"""Structured simulation trace — the moral equivalent of an NS-2 trace file.
+
+Tracing is optional (it costs memory and a little time) and is mainly used
+by tests, the examples and debugging sessions.  Records are small
+dataclasses; :meth:`TraceLog.filter` gives convenient querying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced packet-level occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    event:
+        Short event tag, e.g. ``"mac_tx"``, ``"mac_rx"``, ``"mac_drop"``,
+        ``"rt_fwd"``, ``"agt_send"``, ``"agt_recv"`` — mirroring NS-2's
+        ``s``/``r``/``d`` trace conventions but with readable names.
+    node:
+        Node id at which the event happened.
+    packet_uid:
+        Globally unique packet identifier.
+    packet_kind:
+        Packet kind string ("TCP", "ACK", "RREQ", ...).
+    info:
+        Free-form extra fields (reason of drop, next hop, ...).
+    """
+
+    time: float
+    event: str
+    node: int
+    packet_uid: int
+    packet_kind: str
+    info: dict = dataclasses.field(default_factory=dict)
+
+
+class TraceLog:
+    """In-memory list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: float, event: str, node: int, packet_uid: int,
+            packet_kind: str, **info: Any) -> None:
+        """Append one record."""
+        self.records.append(
+            TraceRecord(time=time, event=event, node=node,
+                        packet_uid=packet_uid, packet_kind=packet_kind,
+                        info=info))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, event: Optional[str] = None, node: Optional[int] = None,
+               kind: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        """Return records matching all the given criteria."""
+        out = []
+        for rec in self.records:
+            if event is not None and rec.event != event:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if kind is not None and rec.packet_kind != kind:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def counts_by_event(self) -> dict:
+        """Histogram of record counts keyed by event tag."""
+        counts: dict = {}
+        for rec in self.records:
+            counts[rec.event] = counts.get(rec.event, 0) + 1
+        return counts

@@ -1,0 +1,91 @@
+"""Retransmission timeout estimation (Jacobson/Karels + Karn).
+
+Classic TCP RTO machinery: smoothed RTT and RTT variance updated from
+round-trip samples of segments that were *not* retransmitted (Karn's
+algorithm — the caller is responsible for withholding samples of
+retransmitted segments), with exponential backoff applied on timeout and
+cleared on the next valid sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RtoEstimator:
+    """Jacobson/Karels RTO estimator.
+
+    Parameters
+    ----------
+    min_rto:
+        Lower bound on the computed timeout, seconds.
+    max_rto:
+        Upper bound on the computed (and backed-off) timeout, seconds.
+    initial_rto:
+        Timeout used before the first RTT sample arrives.
+    alpha, beta:
+        Gains of the SRTT and RTTVAR filters (RFC 6298: 1/8 and 1/4).
+    k:
+        Variance multiplier in ``RTO = SRTT + k * RTTVAR``.
+    """
+
+    def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0,
+                 initial_rto: float = 3.0, alpha: float = 0.125,
+                 beta: float = 0.25, k: float = 4.0):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("require 0 < min_rto <= max_rto")
+        if not (0 < alpha < 1 and 0 < beta < 1):
+            raise ValueError("alpha and beta must be in (0, 1)")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.backoff_factor: int = 1
+        self.samples: int = 0
+
+    # ------------------------------------------------------------------ #
+    def update(self, sample: float) -> None:
+        """Feed one round-trip sample (seconds) from a non-retransmitted segment."""
+        if sample < 0:
+            raise ValueError("RTT sample must be non-negative")
+        self.samples += 1
+        if self.srtt is None:
+            # RFC 6298 initialisation.
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = ((1 - self.beta) * self.rttvar
+                           + self.beta * abs(self.srtt - sample))
+            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * sample
+        # A valid sample clears any timeout backoff.
+        self.backoff_factor = 1
+
+    def timeout(self) -> float:
+        """Current retransmission timeout in seconds (backoff included)."""
+        if self.srtt is None:
+            base = self.initial_rto
+        else:
+            base = self.srtt + self.k * self.rttvar
+        base = min(max(base, self.min_rto), self.max_rto)
+        return min(base * self.backoff_factor, self.max_rto)
+
+    def backoff(self) -> float:
+        """Double the timeout (called when the retransmission timer fires)."""
+        self.backoff_factor = min(self.backoff_factor * 2, 64)
+        return self.timeout()
+
+    def reset(self) -> None:
+        """Forget all RTT history (used when a connection restarts)."""
+        self.srtt = None
+        self.rttvar = None
+        self.backoff_factor = 1
+        self.samples = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<RtoEstimator srtt={self.srtt} rttvar={self.rttvar} "
+                f"rto={self.timeout():.3f}>")

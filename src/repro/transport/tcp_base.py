@@ -1,0 +1,120 @@
+"""Shared TCP definitions: segment header, configuration, agent base."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+#: Key under which the TCP header is stored in ``packet.headers``.
+TCP_HEADER_KEY = "tcp"
+
+
+@dataclasses.dataclass
+class TcpHeader:
+    """TCP segment/acknowledgement header.
+
+    Sequence numbers count whole segments (NS-2 convention), not bytes.
+
+    Attributes
+    ----------
+    seqno:
+        Segment sequence number (data packets).
+    ackno:
+        Highest in-order segment received (acknowledgement packets).
+    ts:
+        Sender timestamp of the data segment; echoed by the sink so the
+        sender can take an RTT sample.
+    ts_echo:
+        Echoed timestamp (acknowledgement packets).
+    is_retransmission:
+        True when the data segment is a retransmission — the sender skips
+        RTT sampling for these (Karn's algorithm).
+    is_ack:
+        Distinguishes acknowledgements from data segments.
+    """
+
+    seqno: int = 0
+    ackno: int = -1
+    ts: float = 0.0
+    ts_echo: float = 0.0
+    is_retransmission: bool = False
+    is_ack: bool = False
+
+
+@dataclasses.dataclass
+class TcpConfig:
+    """TCP Reno parameters (NS-2 ``Agent/TCP`` defaults unless noted).
+
+    Attributes
+    ----------
+    packet_size:
+        Payload bytes per data segment (NS-2 default 1000).
+    header_size:
+        TCP/IP header bytes added to each segment and carried alone by ACKs.
+    window:
+        Maximum congestion/receiver window in segments (``window_``).
+    initial_cwnd:
+        Initial congestion window in segments.
+    initial_ssthresh:
+        Initial slow-start threshold in segments.
+    dupack_threshold:
+        Duplicate ACKs that trigger fast retransmit.
+    min_rto, max_rto, initial_rto:
+        Bounds and initial value for the retransmission timeout.
+    delayed_ack:
+        When True the sink acknowledges every second segment (or after
+        ``delayed_ack_timeout``); the paper-era NS-2 sink acks every
+        segment, so this defaults to False.
+    delayed_ack_timeout:
+        Timer for flushing a pending delayed ACK.
+    """
+
+    packet_size: int = 1000
+    header_size: int = 40
+    window: int = 32
+    initial_cwnd: float = 1.0
+    initial_ssthresh: float = 32.0
+    dupack_threshold: int = 3
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    initial_rto: float = 3.0
+    delayed_ack: bool = False
+    delayed_ack_timeout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.packet_size <= 0 or self.header_size < 0:
+            raise ValueError("invalid segment sizes")
+        if self.window < 1:
+            raise ValueError("window must be at least 1 segment")
+        if self.initial_cwnd < 1:
+            raise ValueError("initial cwnd must be at least 1 segment")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack threshold must be at least 1")
+
+    @property
+    def segment_size(self) -> int:
+        """Total on-the-wire size of a data segment in bytes."""
+        return self.packet_size + self.header_size
+
+
+class TransportAgent:
+    """Minimal base class for transport agents bound to a node/port."""
+
+    def __init__(self, sim: "Simulator", node: "Node", local_port: int):
+        self.sim = sim
+        self.node = node
+        self.local_port = local_port
+        node.add_transport_agent(local_port, self)
+
+    def receive(self, packet: "Packet") -> None:  # pragma: no cover - abstract
+        """Handle a packet delivered to this agent's port."""
+        raise NotImplementedError
+
+    def send_packet(self, packet: "Packet") -> None:
+        """Hand a freshly created packet to the routing layer."""
+        self.node.transport_send(packet)

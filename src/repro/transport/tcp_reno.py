@@ -1,0 +1,258 @@
+"""TCP Reno sender.
+
+Implements the NS-2 ``Agent/TCP/Reno`` behaviour the paper's traffic
+sources rely on:
+
+* slow start and congestion avoidance on a segment-counted congestion
+  window,
+* fast retransmit after three duplicate ACKs and Reno fast recovery
+  (window inflation during recovery, deflation to ``ssthresh`` on the next
+  new ACK),
+* retransmission timeout with Jacobson/Karels estimation, Karn's rule for
+  samples and exponential backoff; on timeout the window collapses to one
+  segment and sending resumes from the last cumulative ACK (go-back-N, as
+  in NS-2),
+* an application interface used by FTP: either an infinite backlog
+  (:meth:`start`) or byte-counted sends (:meth:`send_bytes`).
+
+Sequence numbers count segments, not bytes — the NS-2 convention, which
+also matches how the paper reports throughput (packets received).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, PacketKind
+from repro.transport.rto import RtoEstimator
+from repro.transport.tcp_base import (
+    TCP_HEADER_KEY, TcpConfig, TcpHeader, TransportAgent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class TcpRenoSender(TransportAgent):
+    """One TCP Reno connection's sending side.
+
+    Parameters
+    ----------
+    sim, node:
+        Simulation engine and the node this agent runs on.
+    local_port:
+        Port this agent binds on its node.
+    dst, dst_port:
+        Destination node id and port (where a :class:`TcpSink` listens).
+    config:
+        TCP parameters.
+    """
+
+    def __init__(self, sim: "Simulator", node: "Node", local_port: int,
+                 dst: int, dst_port: int, config: Optional[TcpConfig] = None):
+        super().__init__(sim, node, local_port)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.config = config or TcpConfig()
+
+        # --- congestion control state -------------------------------- #
+        self.cwnd: float = self.config.initial_cwnd
+        self.ssthresh: float = self.config.initial_ssthresh
+        self.dupacks: int = 0
+        self.in_fast_recovery: bool = False
+        #: Highest cumulatively acknowledged segment (-1 = nothing yet).
+        self.highest_ack: int = -1
+        #: Next segment sequence number to transmit.
+        self.next_seq: int = 0
+        #: One beyond the highest segment the application wants sent;
+        #: ``None`` means an unlimited backlog (FTP).
+        self.app_limit: Optional[int] = 0
+
+        self.rto = RtoEstimator(min_rto=self.config.min_rto,
+                                max_rto=self.config.max_rto,
+                                initial_rto=self.config.initial_rto)
+        self._retx_timer = None
+        #: seqno -> send timestamp of the *first* transmission (Karn).
+        self._first_tx_time: Dict[int, float] = {}
+        self._retransmitted: set = set()
+
+        # --- statistics ------------------------------------------------ #
+        self.segments_sent: int = 0
+        self.retransmissions: int = 0
+        self.timeouts: int = 0
+        self.fast_retransmits: int = 0
+        self.acks_received: int = 0
+        self.started: bool = False
+
+    # ------------------------------------------------------------------ #
+    # application interface
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin transferring an unlimited backlog (FTP semantics)."""
+        self.app_limit = None
+        self.started = True
+        self._send_available()
+
+    def send_bytes(self, nbytes: int) -> None:
+        """Add ``nbytes`` of application data to the backlog."""
+        if nbytes <= 0:
+            return
+        segments = max(1, -(-nbytes // self.config.packet_size))
+        if self.app_limit is None:
+            return  # already unlimited
+        self.app_limit += segments
+        self.started = True
+        self._send_available()
+
+    def stop(self) -> None:
+        """Stop offering new data (in-flight segments still complete)."""
+        if self.app_limit is None:
+            self.app_limit = self.next_seq
+        self._cancel_retx_timer()
+
+    # ------------------------------------------------------------------ #
+    # window helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def window(self) -> float:
+        """Effective send window in segments."""
+        return min(self.cwnd, float(self.config.window))
+
+    @property
+    def unacked_segments(self) -> int:
+        """Segments in flight (sent but not cumulatively acknowledged)."""
+        return self.next_seq - (self.highest_ack + 1)
+
+    def _send_available(self) -> None:
+        """Transmit as many new segments as the window and backlog allow."""
+        while (self.next_seq <= self.highest_ack + int(self.window)
+               and (self.app_limit is None or self.next_seq < self.app_limit)):
+            self._transmit_segment(self.next_seq, is_retransmission=False)
+            self.next_seq += 1
+
+    # ------------------------------------------------------------------ #
+    # segment transmission
+    # ------------------------------------------------------------------ #
+    def _transmit_segment(self, seqno: int, is_retransmission: bool) -> None:
+        header = TcpHeader(seqno=seqno, ts=self.sim.now,
+                           is_retransmission=is_retransmission, is_ack=False)
+        packet = Packet(kind=PacketKind.TCP, src=self.node.node_id,
+                        dst=self.dst, size=self.config.segment_size,
+                        src_port=self.local_port, dst_port=self.dst_port,
+                        timestamp=self.sim.now)
+        packet.set_header(TCP_HEADER_KEY, header)
+        self.segments_sent += 1
+        if is_retransmission:
+            self.retransmissions += 1
+            self._retransmitted.add(seqno)
+        else:
+            self._first_tx_time.setdefault(seqno, self.sim.now)
+        self.send_packet(packet)
+        self._arm_retx_timer()
+
+    # ------------------------------------------------------------------ #
+    # acknowledgement processing
+    # ------------------------------------------------------------------ #
+    def receive(self, packet: Packet) -> None:
+        header: Optional[TcpHeader] = packet.headers.get(TCP_HEADER_KEY)
+        if header is None or not header.is_ack:
+            return  # a sender only consumes ACKs
+        self.acks_received += 1
+        ackno = header.ackno
+        if ackno > self.highest_ack:
+            self._handle_new_ack(ackno, header)
+        elif ackno == self.highest_ack:
+            self._handle_dup_ack()
+        # ACKs below the cumulative point are stale and ignored.
+        self._send_available()
+
+    def _handle_new_ack(self, ackno: int, header: TcpHeader) -> None:
+        # RTT sampling: only for segments never retransmitted (Karn).
+        sample_seq = ackno
+        if sample_seq not in self._retransmitted and header.ts_echo > 0:
+            self.rto.update(max(self.sim.now - header.ts_echo, 0.0))
+        # Slide the window, discard bookkeeping for acknowledged segments.
+        for seq in range(self.highest_ack + 1, ackno + 1):
+            self._first_tx_time.pop(seq, None)
+            self._retransmitted.discard(seq)
+        self.highest_ack = ackno
+        self.dupacks = 0
+
+        if self.in_fast_recovery:
+            # Reno: the first new ACK ends recovery and deflates the window.
+            self.cwnd = self.ssthresh
+            self.in_fast_recovery = False
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += 1.0                     # slow start
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)  # congestion avoidance
+
+        if self.unacked_segments > 0:
+            self._arm_retx_timer(restart=True)
+        else:
+            self._cancel_retx_timer()
+
+    def _handle_dup_ack(self) -> None:
+        if self.highest_ack < 0:
+            return
+        self.dupacks += 1
+        if self.dupacks == self.config.dupack_threshold:
+            # Fast retransmit + enter fast recovery.
+            self.fast_retransmits += 1
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh + self.config.dupack_threshold
+            self.in_fast_recovery = True
+            self._transmit_segment(self.highest_ack + 1, is_retransmission=True)
+        elif self.in_fast_recovery and self.dupacks > self.config.dupack_threshold:
+            # Window inflation: each further dup ACK frees one segment.
+            self.cwnd += 1.0
+
+    # ------------------------------------------------------------------ #
+    # retransmission timer
+    # ------------------------------------------------------------------ #
+    def _arm_retx_timer(self, restart: bool = False) -> None:
+        if self._retx_timer is not None:
+            if not restart:
+                return
+            self._retx_timer.cancel()
+        self._retx_timer = self.sim.schedule(self.rto.timeout(),
+                                             self._retx_timeout)
+
+    def _cancel_retx_timer(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+
+    def _retx_timeout(self) -> None:
+        self._retx_timer = None
+        if self.unacked_segments <= 0:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.rto.backoff()
+        # Go-back-N: resume from the last cumulative ACK.
+        self.next_seq = self.highest_ack + 1
+        self._transmit_segment(self.next_seq, is_retransmission=True)
+        self.next_seq += 1
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Summary counters for results reporting and tests."""
+        return {
+            "segments_sent": self.segments_sent,
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "fast_retransmits": self.fast_retransmits,
+            "acks_received": self.acks_received,
+            "cwnd": self.cwnd,
+            "ssthresh": self.ssthresh,
+            "highest_ack": self.highest_ack,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<TcpRenoSender {self.node.node_id}:{self.local_port} -> "
+                f"{self.dst}:{self.dst_port} cwnd={self.cwnd:.2f}>")

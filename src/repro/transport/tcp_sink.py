@@ -1,0 +1,146 @@
+"""TCP sink (receiver) — NS-2's ``Agent/TCPSink``.
+
+The sink receives data segments, tracks the highest in-order sequence
+number, and returns a cumulative acknowledgement for every arriving
+segment (or every other segment when delayed ACKs are enabled).  It also
+keeps the reception statistics the paper's TCP metrics are computed from:
+segments received (throughput), unique in-order segments (goodput), and
+per-segment end-to-end delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, PacketKind
+from repro.transport.tcp_base import (
+    TCP_HEADER_KEY, TcpConfig, TcpHeader, TransportAgent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class TcpSink(TransportAgent):
+    """Receiving side of a TCP connection.
+
+    Parameters
+    ----------
+    sim, node, local_port:
+        Simulation engine, hosting node and the port the sink listens on.
+    config:
+        TCP parameters (ACK size, delayed-ACK policy).
+    """
+
+    def __init__(self, sim: "Simulator", node: "Node", local_port: int,
+                 config: Optional[TcpConfig] = None):
+        super().__init__(sim, node, local_port)
+        self.config = config or TcpConfig()
+
+        #: Highest in-order segment received so far (-1 = none).
+        self.cumulative_seq: int = -1
+        #: Out-of-order segments waiting for the gap to fill.
+        self._out_of_order: set = set()
+
+        # statistics
+        self.segments_received: int = 0
+        self.duplicate_segments: int = 0
+        self.bytes_received: int = 0
+        self.acks_sent: int = 0
+        self.delays: List[float] = []
+        self._seen_uids: set = set()
+        self.unique_segments: int = 0
+
+        self._delayed_ack_pending: Optional[TcpHeader] = None
+        self._delayed_ack_timer = None
+        self._last_sender: Optional[tuple] = None
+
+    # ------------------------------------------------------------------ #
+    def receive(self, packet: Packet) -> None:
+        header: Optional[TcpHeader] = packet.headers.get(TCP_HEADER_KEY)
+        if header is None or header.is_ack:
+            return  # sinks only consume data segments
+        self.segments_received += 1
+        self.bytes_received += packet.size
+        self.delays.append(self.sim.now - packet.timestamp)
+        if packet.uid not in self._seen_uids:
+            self._seen_uids.add(packet.uid)
+            self.unique_segments += 1
+
+        seqno = header.seqno
+        if seqno <= self.cumulative_seq or seqno in self._out_of_order:
+            self.duplicate_segments += 1
+        elif seqno == self.cumulative_seq + 1:
+            self.cumulative_seq = seqno
+            # Pull any contiguous out-of-order segments across.
+            while self.cumulative_seq + 1 in self._out_of_order:
+                self._out_of_order.discard(self.cumulative_seq + 1)
+                self.cumulative_seq += 1
+        else:
+            self._out_of_order.add(seqno)
+
+        self._last_sender = (packet.src, packet.src_port)
+        self._maybe_ack(header)
+
+    # ------------------------------------------------------------------ #
+    def _maybe_ack(self, data_header: TcpHeader) -> None:
+        if not self.config.delayed_ack:
+            self._send_ack(data_header)
+            return
+        if self._delayed_ack_pending is None:
+            self._delayed_ack_pending = data_header
+            self._delayed_ack_timer = self.sim.schedule(
+                self.config.delayed_ack_timeout, self._flush_delayed_ack)
+        else:
+            # Second segment: acknowledge immediately (ack-every-other).
+            if self._delayed_ack_timer is not None:
+                self._delayed_ack_timer.cancel()
+                self._delayed_ack_timer = None
+            self._delayed_ack_pending = None
+            self._send_ack(data_header)
+
+    def _flush_delayed_ack(self) -> None:
+        self._delayed_ack_timer = None
+        pending = self._delayed_ack_pending
+        self._delayed_ack_pending = None
+        if pending is not None:
+            self._send_ack(pending)
+
+    def _send_ack(self, data_header: TcpHeader) -> None:
+        if self._last_sender is None:
+            return
+        sender, sender_port = self._last_sender
+        ack_header = TcpHeader(seqno=0, ackno=self.cumulative_seq,
+                               ts=self.sim.now, ts_echo=data_header.ts,
+                               is_ack=True)
+        packet = Packet(kind=PacketKind.TCP_ACK, src=self.node.node_id,
+                        dst=sender, size=self.config.header_size,
+                        src_port=self.local_port, dst_port=sender_port,
+                        timestamp=self.sim.now)
+        packet.set_header(TCP_HEADER_KEY, ack_header)
+        self.acks_sent += 1
+        self.send_packet(packet)
+
+    # ------------------------------------------------------------------ #
+    def mean_delay(self) -> float:
+        """Average end-to-end delay (seconds) of received data segments."""
+        if not self.delays:
+            return 0.0
+        return sum(self.delays) / len(self.delays)
+
+    def stats(self) -> Dict[str, float]:
+        """Summary counters for results reporting and tests."""
+        return {
+            "segments_received": self.segments_received,
+            "unique_segments": self.unique_segments,
+            "duplicate_segments": self.duplicate_segments,
+            "bytes_received": self.bytes_received,
+            "acks_sent": self.acks_sent,
+            "cumulative_seq": self.cumulative_seq,
+            "mean_delay": self.mean_delay(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<TcpSink {self.node.node_id}:{self.local_port} "
+                f"cum_seq={self.cumulative_seq}>")

@@ -1,0 +1,75 @@
+"""UDP transport agent.
+
+A thin datagram agent used by the CBR application and by tests that need
+traffic without congestion control.  Received datagrams are counted and
+optionally handed to an attached receive callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, PacketKind
+from repro.transport.tcp_base import TransportAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class UdpAgent(TransportAgent):
+    """Connectionless datagram agent bound to one port.
+
+    Parameters
+    ----------
+    sim, node, local_port:
+        Simulation engine, hosting node and bound port.
+    dst, dst_port:
+        Default destination for :meth:`send`; may be overridden per call.
+    """
+
+    def __init__(self, sim: "Simulator", node: "Node", local_port: int,
+                 dst: Optional[int] = None, dst_port: Optional[int] = None):
+        super().__init__(sim, node, local_port)
+        self.dst = dst
+        self.dst_port = dst_port
+        self.on_receive: Optional[Callable[[Packet], None]] = None
+
+        self.datagrams_sent: int = 0
+        self.datagrams_received: int = 0
+        self.bytes_received: int = 0
+        self.delays: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def send(self, size: int, dst: Optional[int] = None,
+             dst_port: Optional[int] = None) -> Packet:
+        """Send one datagram of ``size`` bytes; returns the packet."""
+        destination = dst if dst is not None else self.dst
+        destination_port = dst_port if dst_port is not None else self.dst_port
+        if destination is None or destination_port is None:
+            raise ValueError("no destination configured for UDP send")
+        packet = Packet(kind=PacketKind.UDP, src=self.node.node_id,
+                        dst=destination, size=size,
+                        src_port=self.local_port, dst_port=destination_port,
+                        timestamp=self.sim.now)
+        self.datagrams_sent += 1
+        self.send_packet(packet)
+        return packet
+
+    def receive(self, packet: Packet) -> None:
+        self.datagrams_received += 1
+        self.bytes_received += packet.size
+        self.delays.append(self.sim.now - packet.timestamp)
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Summary counters for results reporting and tests."""
+        mean_delay = sum(self.delays) / len(self.delays) if self.delays else 0.0
+        return {
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_received": self.datagrams_received,
+            "bytes_received": self.bytes_received,
+            "mean_delay": mean_delay,
+        }

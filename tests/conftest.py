@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.mac.params import MacParams
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.base import StaticMobility
+from repro.net.channel import WirelessChannel
+from repro.net.interface import WirelessInterface
+from repro.net.node import Node
+from repro.net.propagation import RangePropagation
+from repro.net.queue import PriorityQueue
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+class StaticNetwork:
+    """A hand-wired static wireless network for protocol-level tests.
+
+    Unlike :class:`~repro.scenario.builder.ScenarioBuilder`, this helper
+    attaches no transport agents and no applications, so tests can drive
+    routing agents directly with crafted packets, UDP agents, or TCP
+    senders of their own choosing.
+    """
+
+    def __init__(self, sim: Simulator, positions: Sequence[Tuple[float, float]],
+                 agent_factory: Optional[Callable] = None,
+                 range_m: float = 250.0,
+                 mac_params: Optional[MacParams] = None,
+                 track_flows=None):
+        self.sim = sim
+        self.channel = WirelessChannel(sim, RangePropagation(range_m))
+        self.metrics = MetricsCollector(sim, track_flows=track_flows)
+        self.nodes: List[Node] = []
+        params = mac_params or MacParams()
+        for node_id, (x, y) in enumerate(positions):
+            node = Node(sim, node_id, mobility=StaticMobility(x, y))
+            interface = WirelessInterface(sim, node, self.channel)
+            queue = PriorityQueue(capacity=50)
+            mac = DcfMac(sim, node, interface, queue, params)
+            node.attach_stack(interface, queue, mac)
+            if agent_factory is not None:
+                agent_factory(sim, node, self.metrics)
+            self.nodes.append(node)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def agent(self, node_id: int):
+        return self.nodes[node_id].routing_agent
+
+
+@pytest.fixture
+def make_static_network():
+    """Factory fixture building a :class:`StaticNetwork`."""
+
+    def _make(sim: Simulator, positions, agent_factory=None, range_m=250.0,
+              mac_params=None, track_flows=None) -> StaticNetwork:
+        return StaticNetwork(sim, positions, agent_factory=agent_factory,
+                             range_m=range_m, mac_params=mac_params,
+                             track_flows=track_flows)
+
+    return _make
+
+
+#: A five-node chain: 0 - 1 - 2 - 3 - 4, each hop 200 m (only adjacent
+#: nodes are within the 250 m range).
+CHAIN_POSITIONS = [(0.0, 0.0), (200.0, 0.0), (400.0, 0.0),
+                   (600.0, 0.0), (800.0, 0.0)]
+
+#: A diamond: 0 reaches 1 and 2; both reach 3; 1 and 2 cannot hear each
+#: other.  Gives two node-disjoint 2-hop paths between 0 and 3.
+DIAMOND_POSITIONS = [(0.0, 150.0), (200.0, 300.0), (200.0, 0.0),
+                     (400.0, 150.0)]
+
+
+@pytest.fixture
+def chain_positions():
+    return list(CHAIN_POSITIONS)
+
+
+@pytest.fixture
+def diamond_positions():
+    return list(DIAMOND_POSITIONS)

@@ -1,0 +1,160 @@
+"""Protocol-level tests for DSR over small static topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobility.base import StaticMobility
+from repro.routing.dsr import DsrAgent, DsrConfig
+from repro.routing.packets import SRCROUTE_KEY
+from repro.sim.engine import Simulator
+from repro.transport.udp import UdpAgent
+
+from tests.conftest import CHAIN_POSITIONS, DIAMOND_POSITIONS, StaticNetwork
+
+
+def dsr_factory(config=None):
+    def factory(sim, node, metrics):
+        return DsrAgent(sim, node, config or DsrConfig(), metrics)
+    return factory
+
+
+def setup_udp_flow(net, src, dst, port=60):
+    sender = UdpAgent(net.sim, net.node(src), local_port=port, dst=dst,
+                      dst_port=port)
+    receiver = UdpAgent(net.sim, net.node(dst), local_port=port)
+    return sender, receiver
+
+
+class TestDsrDataPath:
+    def test_multi_hop_delivery_over_chain(self):
+        sim = Simulator(seed=20)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        for index in range(5):
+            sim.schedule(0.1 * index, sender.send, 512)
+        sim.run(until=10.0)
+        assert receiver.datagrams_received == 5
+        assert net.agent(0).cache.find(4) == [0, 1, 2, 3, 4]
+
+    def test_delivered_packets_carry_a_source_route(self):
+        sim = Simulator(seed=20)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        captured = []
+        receiver.on_receive = captured.append
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        assert captured
+        route = captured[0].headers.get(SRCROUTE_KEY)
+        assert route is not None
+        assert route.path == [0, 1, 2, 3, 4]
+
+    def test_intermediate_nodes_learn_routes_they_forward(self):
+        sim = Simulator(seed=20)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        # Node 2 forwarded the data packet, so it now knows routes to both
+        # endpoints without ever having discovered them.
+        assert net.agent(2).cache.has_route(4)
+        assert net.agent(2).cache.has_route(0)
+
+    def test_reply_from_cache_spares_the_destination(self):
+        sim = Simulator(seed=20)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        # Pre-populate node 1's cache with a full route to node 4.
+        net.agent(1).cache.add_path([1, 2, 3, 4])
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        assert receiver.datagrams_received == 1
+        # The destination never generated a route reply: node 1 answered.
+        assert net.agent(4).stats["control_sent"] == 0
+
+    def test_cache_replies_can_be_disabled(self):
+        sim = Simulator(seed=20)
+        config = DsrConfig(reply_from_cache=False)
+        net = StaticNetwork(sim, CHAIN_POSITIONS,
+                            agent_factory=dsr_factory(config))
+        net.agent(1).cache.add_path([1, 2, 3, 4])
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        assert receiver.datagrams_received == 1
+        assert net.agent(4).stats["control_sent"] >= 1
+
+
+class TestDsrMaintenance:
+    def test_salvage_onto_alternative_route_in_diamond(self):
+        sim = Simulator(seed=22)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS, agent_factory=dsr_factory())
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        for index in range(40):
+            sim.schedule(0.2 * index, sender.send, 512)
+        sim.schedule(3.0, lambda: setattr(net.node(1), "mobility",
+                                          StaticMobility(9000.0, 9000.0)))
+        sim.run(until=15.0)
+        assert receiver.datagrams_received >= 30
+        final_route = net.agent(0).cache.find(3)
+        assert final_route is not None
+        assert 1 not in final_route
+
+    def test_link_failure_removes_link_from_cache(self):
+        sim = Simulator(seed=23)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        agent = net.agent(0)
+        agent.cache.add_path([0, 1, 2, 3, 4])
+        from repro.net.packet import Packet, PacketKind
+        packet = Packet(kind=PacketKind.UDP, src=0, dst=4, size=512)
+        packet.set_header(SRCROUTE_KEY, __import__(
+            "repro.routing.packets", fromlist=["SourceRouteHeader"]
+        ).SourceRouteHeader(path=[0, 1, 2, 3, 4], index=0))
+        agent.link_failed(packet, next_hop=1)
+        assert agent.cache.find(4) is None or 1 not in agent.cache.find(4)
+
+    def test_promiscuous_tap_learns_overheard_source_routes(self):
+        """A node on a source route it overhears caches that route."""
+        sim = Simulator(seed=24)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory())
+        agent = net.agent(2)
+        from repro.net.packet import Packet, PacketKind
+        from repro.routing.packets import SourceRouteHeader
+        overheard = Packet(kind=PacketKind.UDP, src=0, dst=4, size=512)
+        overheard.set_header(SRCROUTE_KEY,
+                             SourceRouteHeader(path=[0, 1, 2, 3, 4], index=1))
+        agent.tap(overheard, prev_hop=1)
+        assert agent.cache.find(4) == [2, 3, 4]
+        assert agent.cache.find(0) == [2, 1, 0]
+
+    def test_promiscuous_learning_can_be_disabled(self):
+        sim = Simulator(seed=24)
+        config = DsrConfig(promiscuous_learning=False)
+        net = StaticNetwork(sim, CHAIN_POSITIONS,
+                            agent_factory=dsr_factory(config))
+        agent = net.agent(2)
+        from repro.net.packet import Packet, PacketKind
+        from repro.routing.packets import SourceRouteHeader
+        overheard = Packet(kind=PacketKind.UDP, src=0, dst=4, size=512)
+        overheard.set_header(SRCROUTE_KEY,
+                             SourceRouteHeader(path=[0, 1, 2, 3, 4], index=1))
+        agent.tap(overheard, prev_hop=1)
+        assert len(agent.cache) == 0
+
+    def test_dsr_control_overhead_is_low_on_static_chain(self):
+        """Once a route is cached, DSR sends no further control packets."""
+        sim = Simulator(seed=25)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=dsr_factory(),
+                            track_flows=[(0, 4)])
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        for index in range(30):
+            sim.schedule(0.1 * index, sender.send, 512)
+        sim.run(until=15.0)
+        assert receiver.datagrams_received == 30
+        first_burst = net.metrics.total_control_packets()
+        # Send a second burst: the cached route means no new discovery.
+        for index in range(10):
+            sim.schedule_at(15.0 + 0.1 * index, sender.send, 512)
+        sim.run(until=25.0)
+        assert net.metrics.total_control_packets() == first_burst

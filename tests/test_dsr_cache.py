@@ -1,0 +1,89 @@
+"""Unit tests for the DSR route cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.dsr_cache import DsrRouteCache
+
+
+def test_add_and_find_shortest_path():
+    cache = DsrRouteCache(owner=0)
+    assert cache.add_path([0, 1, 2, 5])
+    assert cache.add_path([0, 3, 5])
+    assert cache.find(5) == [0, 3, 5]
+
+
+def test_prefix_paths_are_learned():
+    cache = DsrRouteCache(owner=0)
+    cache.add_path([0, 1, 2, 3])
+    assert cache.find(1) == [0, 1]
+    assert cache.find(2) == [0, 1, 2]
+    assert cache.has_route(3)
+
+
+def test_rejects_paths_not_starting_at_owner_or_with_loops():
+    cache = DsrRouteCache(owner=0)
+    assert not cache.add_path([1, 2, 3])
+    assert not cache.add_path([0])
+    assert not cache.add_path([0, 1, 2, 1])
+    assert len(cache) == 0
+
+
+def test_find_miss_returns_none_and_counts():
+    cache = DsrRouteCache(owner=0)
+    assert cache.find(7) is None
+    cache.add_path([0, 7])
+    assert cache.find(7) == [0, 7]
+    assert cache.misses == 1
+    assert cache.hits == 1
+
+
+def test_learn_from_route_when_owner_is_in_the_middle():
+    cache = DsrRouteCache(owner=2)
+    assert cache.learn_from_route([0, 1, 2, 3, 4])
+    # Forward suffix towards the route's end...
+    assert cache.find(4) == [2, 3, 4]
+    # ...and reversed prefix back towards the route's start.
+    assert cache.find(0) == [2, 1, 0]
+
+
+def test_learn_from_route_ignores_unrelated_routes():
+    cache = DsrRouteCache(owner=9)
+    assert not cache.learn_from_route([0, 1, 2])
+    assert len(cache) == 0
+
+
+def test_remove_link_purges_both_directions():
+    cache = DsrRouteCache(owner=0)
+    cache.add_path([0, 1, 2, 5])
+    cache.add_path([0, 3, 5])
+    removed = cache.remove_link(2, 1)  # reversed order on purpose
+    assert removed >= 1
+    assert cache.find(5) == [0, 3, 5]
+    assert not any(2 in path for path in cache.all_paths(5))
+
+
+def test_per_destination_cap_evicts_oldest():
+    cache = DsrRouteCache(owner=0, max_paths_per_destination=2)
+    cache.add_path([0, 1, 9])
+    cache.add_path([0, 2, 9])
+    cache.add_path([0, 3, 9])
+    paths = cache.all_paths(9)
+    assert len(paths) == 2
+    assert [0, 1, 9] not in paths
+
+
+def test_destinations_listing_and_clear():
+    cache = DsrRouteCache(owner=0)
+    cache.add_path([0, 1, 2])
+    cache.add_path([0, 4])
+    assert cache.destinations() == [1, 2, 4]
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.destinations() == []
+
+
+def test_invalid_configuration():
+    with pytest.raises(ValueError):
+        DsrRouteCache(owner=0, max_paths_per_destination=0)

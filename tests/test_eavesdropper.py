@@ -1,0 +1,107 @@
+"""Tests for the passive eavesdropper model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.aodv import AodvAgent, AodvConfig
+from repro.security.eavesdropper import EavesdropperMonitor, choose_eavesdropper
+from repro.sim.engine import Simulator
+from repro.transport.udp import UdpAgent
+
+from tests.conftest import CHAIN_POSITIONS, StaticNetwork
+
+
+def aodv_factory(sim, node, metrics):
+    return AodvAgent(sim, node, AodvConfig(), metrics)
+
+
+def run_chain_with_eavesdropper(eavesdropper_id, n_packets=10, seed=60,
+                                flow_filter=None):
+    sim = Simulator(seed=seed)
+    net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=aodv_factory,
+                        track_flows=[(0, 4)])
+    monitor = EavesdropperMonitor(net.node(eavesdropper_id),
+                                  metrics=net.metrics,
+                                  flow_filter=flow_filter or [(0, 4)])
+    sender = UdpAgent(sim, net.node(0), local_port=90, dst=4, dst_port=90)
+    receiver = UdpAgent(sim, net.node(4), local_port=90)
+    for index in range(n_packets):
+        sim.schedule(0.1 * index, sender.send, 512)
+    sim.run(until=10.0)
+    return net, monitor, receiver
+
+
+def test_on_path_eavesdropper_captures_relayed_data():
+    net, monitor, receiver = run_chain_with_eavesdropper(2)
+    assert receiver.datagrams_received == 10
+    # Node 2 relays every packet, so it captures all of them.
+    assert len(monitor.uids_by_kind["udp"]) == 10
+    assert net.metrics.eavesdropper_nodes == {2}
+
+
+def test_neighbouring_eavesdropper_overhears_without_relaying():
+    """Node 1 relays, but node 0->1 frames are also audible at node 2...
+    here we pin the eavesdropper next to the path: node 1 is on the path,
+    so instead pin it at node 3 which only overhears the 2->... hops."""
+    net, monitor, receiver = run_chain_with_eavesdropper(3)
+    # Node 3 is on the chain (relays), so captures everything too; the
+    # interesting assertion is that captures are counted once per unique
+    # datagram even though it both relays and overhears copies.
+    assert len(monitor.uids_by_kind["udp"]) == 10
+    assert monitor.frames_captured >= 10
+
+
+def test_flow_filter_excludes_foreign_traffic():
+    sim = Simulator(seed=61)
+    net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=aodv_factory)
+    monitor = EavesdropperMonitor(net.node(2), flow_filter=[(0, 4)])
+    # Traffic on an unrelated flow 1 -> 3 must not be recorded.
+    sender = UdpAgent(sim, net.node(1), local_port=91, dst=3, dst_port=91)
+    receiver = UdpAgent(sim, net.node(3), local_port=91)
+    sim.schedule(0.0, sender.send, 512)
+    sim.run(until=5.0)
+    assert receiver.datagrams_received == 1
+    assert monitor.frames_captured == 0
+
+
+def test_control_packets_are_not_counted_as_data_captures():
+    net, monitor, receiver = run_chain_with_eavesdropper(2, n_packets=1)
+    summary = monitor.capture_summary()
+    assert "rreq" not in summary
+    assert "rrep" not in summary
+
+
+def test_monitor_requires_mac():
+    sim = Simulator(seed=1)
+    from repro.net.node import Node
+    bare = Node(sim, 0)
+    with pytest.raises(ValueError):
+        EavesdropperMonitor(bare)
+
+
+def test_monitor_marks_node_and_attaches_sniffer():
+    sim = Simulator(seed=62)
+    net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=aodv_factory)
+    monitor = EavesdropperMonitor(net.node(1))
+    assert net.node(1).is_eavesdropper
+    assert monitor._sniff in net.node(1).mac.sniffers
+
+
+class TestChooseEavesdropper:
+    def test_excludes_flow_endpoints(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            chosen = choose_eavesdropper(range(10), exclude=[0, 9], rng=rng)
+            assert chosen not in (0, 9)
+            assert 0 <= chosen < 10
+
+    def test_deterministic_for_a_given_rng_state(self):
+        assert (choose_eavesdropper(range(10), [0], np.random.default_rng(5))
+                == choose_eavesdropper(range(10), [0], np.random.default_rng(5)))
+
+    def test_no_candidates_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            choose_eavesdropper([0, 1], exclude=[0, 1], rng=rng)

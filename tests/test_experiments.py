@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (sweep, figures, Table I, ablations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_check_interval_ablation,
+    run_max_paths_ablation,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    figure_series,
+    format_figure,
+    run_figure,
+    winners_by_speed,
+)
+from repro.experiments.sweep import SweepSettings, run_speed_sweep
+from repro.experiments.table1 import format_table1, run_table1
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import AGGREGATED_FIELDS
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    """One very small sweep shared by every figure test in this module."""
+    settings = SweepSettings(protocols=("AODV", "MTS"), speeds=(2.0, 10.0),
+                             replications=1, base_seed=3,
+                             config_overrides=dict(n_nodes=12,
+                                                   field_size=(600.0, 600.0),
+                                                   sim_time=6.0))
+    return run_speed_sweep(settings)
+
+
+class TestFigureRegistry:
+    def test_all_seven_figures_are_registered(self):
+        assert set(FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9",
+                                "fig10", "fig11"}
+
+    def test_metrics_exist_on_aggregate_results(self):
+        for spec in FIGURES.values():
+            assert spec.metric in AGGREGATED_FIELDS
+
+    def test_expected_winners_match_paper_claims(self):
+        assert FIGURES["fig5"].expected_best == "MTS"
+        assert FIGURES["fig11"].expected_best == "DSR"
+        assert FIGURES["fig7"].better == "min"
+        assert FIGURES["fig9"].better == "max"
+
+
+class TestSweep:
+    def test_sweep_covers_the_whole_grid(self, tiny_sweep):
+        settings = tiny_sweep.settings
+        assert len(tiny_sweep.aggregates) == (len(settings.protocols)
+                                              * len(settings.speeds))
+        for protocol in settings.protocols:
+            for speed in settings.speeds:
+                aggregate = tiny_sweep.aggregate(protocol, speed)
+                assert aggregate.protocol == protocol
+                assert aggregate.max_speed == speed
+
+    def test_metric_series_ordering(self, tiny_sweep):
+        series = tiny_sweep.metric_series("throughput_segments")
+        assert set(series) == {"AODV", "MTS"}
+        assert all(len(values) == 2 for values in series.values())
+        assert all(value > 0 for values in series.values() for value in values)
+
+    def test_rows_are_flat_dicts(self, tiny_sweep):
+        rows = tiny_sweep.rows()
+        assert len(rows) == 4
+        assert all("delivery_rate" in row for row in rows)
+
+    def test_figure_helpers_work_on_a_sweep(self, tiny_sweep):
+        series = figure_series(tiny_sweep, "fig9")
+        assert set(series) == {"AODV", "MTS"}
+        winners = winners_by_speed(tiny_sweep, "fig9")
+        assert len(winners) == 2
+        assert set(winners) <= {"AODV", "MTS"}
+        text = format_figure(tiny_sweep, "fig9")
+        assert "throughput" in text.lower() or "Fig9".lower() in text.lower()
+        assert "2.0" in text and "10.0" in text
+
+    def test_run_figure_reuses_an_existing_sweep(self, tiny_sweep):
+        series = run_figure("fig5", sweep=tiny_sweep)
+        assert set(series) == {"AODV", "MTS"}
+
+    def test_run_figure_rejects_unknown_ids(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99", sweep=None, settings=SweepSettings.smoke())
+
+    def test_settings_profiles(self):
+        paper = SweepSettings.paper()
+        assert paper.replications == 5
+        assert paper.speeds == (2.0, 5.0, 10.0, 15.0, 20.0)
+        assert paper.config_overrides["sim_time"] == 200.0
+        bench = SweepSettings.bench()
+        assert bench.config_overrides["sim_time"] < 200.0
+        cell = bench.cell_config("MTS", 10.0, replication=1)
+        assert isinstance(cell, ScenarioConfig)
+        assert cell.protocol == "MTS" and cell.max_speed == 10.0
+
+
+class TestTable1:
+    def test_table1_runs_and_formats(self):
+        config = ScenarioConfig(protocol="DSR", n_nodes=12,
+                                field_size=(600.0, 600.0), max_speed=5.0,
+                                sim_time=6.0, seed=5)
+        normalization, result = run_table1(config)
+        assert normalization.participating == result.participating_nodes
+        assert normalization.alpha == sum(result.relay_counts.values())
+        text = format_table1(normalization)
+        assert "TABLE I" in text
+        assert "alpha" in text
+
+    def test_table1_requires_dsr(self):
+        with pytest.raises(ValueError):
+            run_table1(ScenarioConfig.tiny(protocol="MTS"))
+
+
+class TestAblations:
+    def make_config(self):
+        return ScenarioConfig(protocol="MTS", n_nodes=12,
+                              field_size=(600.0, 600.0), max_speed=5.0,
+                              sim_time=5.0, seed=11)
+
+    def test_check_interval_ablation(self):
+        results = run_check_interval_ablation(intervals=(1.0, 4.0),
+                                              config=self.make_config())
+        assert set(results) == {1.0, 4.0}
+        text = format_ablation(results, "check_interval_s")
+        assert "check_interval_s" in text
+
+    def test_max_paths_ablation(self):
+        results = run_max_paths_ablation(max_paths_values=(1, 5),
+                                         config=self.make_config())
+        assert set(results) == {1, 5}
+
+    def test_invalid_knob_values_rejected(self):
+        with pytest.raises(ValueError):
+            run_check_interval_ablation(intervals=(0.0,),
+                                        config=self.make_config())
+        with pytest.raises(ValueError):
+            run_max_paths_ablation(max_paths_values=(0,),
+                                   config=self.make_config())

@@ -1,0 +1,169 @@
+"""Tests for the wireless channel and interface (PHY collision behaviour).
+
+These tests drive the channel/interface pair directly with a minimal fake
+MAC so the collision and carrier-sense semantics can be checked without
+the full DCF machinery on top.
+"""
+
+from __future__ import annotations
+
+from repro.mobility.base import StaticMobility
+from repro.net.channel import WirelessChannel
+from repro.net.interface import WirelessInterface
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.net.propagation import RangePropagation
+from repro.sim.engine import Simulator
+
+
+class RecordingMac:
+    """Minimal MAC stub recording everything the interface reports."""
+
+    def __init__(self):
+        self.received = []
+        self.busy_transitions = 0
+        self.idle_transitions = 0
+        self.completed = []
+
+    def receive_frame(self, packet, sender_id):
+        self.received.append((packet, sender_id))
+
+    def on_channel_busy(self):
+        self.busy_transitions += 1
+
+    def on_channel_idle(self):
+        self.idle_transitions += 1
+
+    def transmission_complete(self, packet):
+        self.completed.append(packet)
+
+
+def build(sim, positions, range_m=250.0):
+    channel = WirelessChannel(sim, RangePropagation(range_m))
+    nodes, macs = [], []
+    for node_id, (x, y) in enumerate(positions):
+        node = Node(sim, node_id, mobility=StaticMobility(x, y))
+        interface = WirelessInterface(sim, node, channel)
+        mac = RecordingMac()
+        interface.attach_mac(mac)
+        node.interface = interface
+        nodes.append(node)
+        macs.append(mac)
+    return channel, nodes, macs
+
+
+def frame(src=0, dst=1, size=500):
+    packet = Packet(kind=PacketKind.UDP, src=src, dst=dst, size=size)
+    packet.mac_src, packet.mac_dst = src, dst
+    return packet
+
+
+def test_in_range_receiver_gets_frame():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (600, 0)])
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert len(macs[1].received) == 1
+    assert macs[1].received[0][1] == 0
+    # Node 2 at 600 m is out of the 250 m range.
+    assert macs[2].received == []
+
+
+def test_sender_does_not_receive_own_frame():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert macs[0].received == []
+
+
+def test_overlapping_transmissions_collide_at_receiver():
+    sim = Simulator(seed=1)
+    # Nodes 0 and 2 are both in range of 1 but not of each other (hidden
+    # terminals); their overlapping frames must both be lost at node 1.
+    channel, nodes, macs = build(sim, [(0, 0), (200, 0), (400, 0)])
+    sim.schedule(0.0, nodes[0].interface.transmit, frame(0, 1), 0.01)
+    sim.schedule(0.005, nodes[2].interface.transmit, frame(2, 1), 0.01)
+    sim.run()
+    assert macs[1].received == []
+    assert nodes[1].interface.frames_collided == 2
+
+
+def test_non_overlapping_transmissions_both_received():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (200, 0), (400, 0)])
+    sim.schedule(0.0, nodes[0].interface.transmit, frame(0, 1), 0.01)
+    sim.schedule(0.02, nodes[2].interface.transmit, frame(2, 1), 0.01)
+    sim.run()
+    assert len(macs[1].received) == 2
+
+
+def test_half_duplex_transmitting_node_misses_incoming():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    sim.schedule(0.0, nodes[0].interface.transmit, frame(0, 1), 0.02)
+    sim.schedule(0.005, nodes[1].interface.transmit, frame(1, 0), 0.02)
+    sim.run()
+    # Node 1 started receiving node 0's frame but then transmitted itself,
+    # corrupting the reception; node 0 was transmitting when node 1's frame
+    # arrived, so it misses it as well.
+    assert macs[1].received == []
+    assert macs[0].received == []
+
+
+def test_carrier_busy_during_reception_and_transmission():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    states = {}
+
+    def probe(label):
+        states[label] = (nodes[1].interface.carrier_busy(),
+                         nodes[0].interface.is_transmitting)
+
+    sim.schedule(0.0, nodes[0].interface.transmit, frame(0, 1), 0.01)
+    sim.schedule(0.005, probe, "during")
+    sim.schedule(0.02, probe, "after")
+    sim.run()
+    assert states["during"] == (True, True)
+    assert states["after"] == (False, False)
+
+
+def test_busy_and_idle_notifications_are_paired():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    nodes[0].interface.transmit(frame(0, 1), 0.01)
+    sim.run()
+    assert macs[1].busy_transitions == 1
+    assert macs[1].idle_transitions == 1
+
+
+def test_transmission_complete_reported_to_sender_mac():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    packet = frame(0, 1)
+    nodes[0].interface.transmit(packet, 0.01)
+    sim.run()
+    assert len(macs[0].completed) == 1
+    assert macs[0].completed[0].uid == packet.uid
+
+
+def test_neighbors_of_reports_current_range():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (600, 0)])
+    neighbors = channel.neighbors_of(nodes[0].interface)
+    assert [iface.node.node_id for iface in neighbors] == [1]
+
+
+def test_receiver_gets_independent_packet_copy():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (150, 0)])
+    packet = frame(0, 1)
+    packet.set_header("route", {"path": [0, 1]})
+    packet.mac_dst = -1  # broadcast so both neighbours decode it
+    nodes[0].interface.transmit(packet, 0.01)
+    sim.run()
+    received_1 = macs[1].received[0][0]
+    received_2 = macs[2].received[0][0]
+    assert received_1 is not packet and received_2 is not packet
+    received_1.get_header("route")["path"].append(99)
+    assert received_2.get_header("route")["path"] == [0, 1]

@@ -1,0 +1,231 @@
+"""Tests for the DCF MAC: ACKs, retries, RTS/CTS, NAV, duplicate filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.mac.params import MacParams
+from repro.mobility.base import StaticMobility
+from repro.net.channel import WirelessChannel
+from repro.net.interface import WirelessInterface
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.net.propagation import RangePropagation
+from repro.net.queue import PriorityQueue
+from repro.sim.engine import Simulator
+
+
+class UpperLayerRecorder:
+    """Captures what the MAC delivers to / reports about a node."""
+
+    def __init__(self):
+        self.delivered = []
+        self.link_failures = []
+        self.promiscuous = []
+
+
+def build_network(sim, positions, params):
+    channel = WirelessChannel(sim, RangePropagation(250.0))
+    nodes, recorders = [], []
+    for node_id, (x, y) in enumerate(positions):
+        node = Node(sim, node_id, mobility=StaticMobility(x, y))
+        interface = WirelessInterface(sim, node, channel)
+        queue = PriorityQueue(capacity=50)
+        mac = DcfMac(sim, node, interface, queue, params)
+        node.attach_stack(interface, queue, mac)
+        recorder = UpperLayerRecorder()
+        node.receive_from_mac = (  # type: ignore[method-assign]
+            lambda packet, prev, rec=recorder: rec.delivered.append((packet, prev)))
+        node.link_failure = (  # type: ignore[method-assign]
+            lambda packet, nh, rec=recorder: rec.link_failures.append((packet, nh)))
+        node.promiscuous_from_mac = (  # type: ignore[method-assign]
+            lambda packet, prev, rec=recorder: rec.promiscuous.append((packet, prev)))
+        nodes.append(node)
+        recorders.append(recorder)
+    return nodes, recorders
+
+
+def data_frame(src, dst, size=500, kind=PacketKind.UDP):
+    packet = Packet(kind=kind, src=src, dst=dst, size=size)
+    return packet
+
+
+@pytest.fixture
+def params():
+    return MacParams()
+
+
+def test_unicast_delivery_with_ack(sim_factory=None):
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0)], params)
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    sim.run(until=1.0)
+    assert len(recorders[1].delivered) == 1
+    assert recorders[1].delivered[0][1] == 0
+    assert nodes[0].mac.acks_received == 1
+    assert recorders[0].link_failures == []
+    # The exchange used RTS/CTS because the frame exceeds the threshold.
+    assert nodes[0].mac.rts_sent >= 1
+    assert nodes[1].mac.cts_sent >= 1
+
+
+def test_unicast_without_rts_when_disabled():
+    sim = Simulator(seed=5)
+    params = MacParams(use_rts_cts=False)
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0)], params)
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    sim.run(until=1.0)
+    assert len(recorders[1].delivered) == 1
+    assert nodes[0].mac.rts_sent == 0
+
+
+def test_small_frames_skip_rts():
+    sim = Simulator(seed=5)
+    params = MacParams(rts_threshold=400)
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0)], params)
+    nodes[0].send_over_link(data_frame(0, 1, size=100), next_hop=1)
+    sim.run(until=1.0)
+    assert len(recorders[1].delivered) == 1
+    assert nodes[0].mac.rts_sent == 0
+
+
+def test_retry_limit_reports_link_failure():
+    """A next hop that is out of range produces a link-failure callback."""
+    sim = Simulator(seed=5)
+    params = MacParams(retry_limit=3)
+    nodes, recorders = build_network(sim, [(0, 0), (1000, 0)], params)
+    packet = data_frame(0, 1)
+    nodes[0].send_over_link(packet, next_hop=1)
+    sim.run(until=5.0)
+    assert len(recorders[0].link_failures) == 1
+    failed_packet, next_hop = recorders[0].link_failures[0]
+    assert next_hop == 1
+    assert failed_packet.uid == packet.uid
+    assert nodes[0].mac.retry_drops == 1
+    assert recorders[1].delivered == []
+
+
+def test_broadcast_needs_no_ack_and_reaches_all_neighbours():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0), (200, 100)], params)
+    nodes[0].send_over_link(data_frame(0, 99), next_hop=-1)
+    sim.run(until=1.0)
+    assert len(recorders[1].delivered) == 1
+    assert len(recorders[2].delivered) == 1
+    assert recorders[0].link_failures == []
+    assert nodes[0].mac.rts_sent == 0  # broadcasts never use RTS
+    assert nodes[1].mac.acks_sent == 0
+
+
+def test_frames_not_addressed_to_node_go_to_promiscuous_tap():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0), (100, 100)], params)
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    sim.run(until=1.0)
+    # Node 2 overhears the data frame addressed to node 1.
+    overheard_kinds = {p.kind for p, _ in recorders[2].promiscuous}
+    assert PacketKind.UDP in overheard_kinds
+    assert recorders[2].delivered == []
+
+
+def test_sniffers_see_decoded_frames():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0), (100, 100)], params)
+    sniffed = []
+    nodes[2].mac.add_sniffer(lambda packet, sender: sniffed.append(packet.kind))
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    sim.run(until=1.0)
+    assert PacketKind.UDP in sniffed
+
+
+def test_duplicate_rx_suppression_counts():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0)], params)
+    mac1 = nodes[1].mac
+    original = data_frame(0, 1)
+    original.mac_src, original.mac_dst = 0, 1
+    # Simulate the same frame (same uid, same sender) decoded twice.
+    mac1.receive_frame(original.copy(), sender_id=0)
+    mac1.receive_frame(original.copy(), sender_id=0)
+    assert len(recorders[1].delivered) == 1
+    assert mac1.duplicate_rx_suppressed == 1
+
+
+def test_multiple_queued_frames_all_delivered_in_order():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0)], params)
+    packets = [data_frame(0, 1) for _ in range(5)]
+    for packet in packets:
+        nodes[0].send_over_link(packet, next_hop=1)
+    sim.run(until=2.0)
+    delivered_uids = [p.uid for p, _ in recorders[1].delivered]
+    assert delivered_uids == [p.uid for p in packets]
+
+
+def test_two_contending_senders_both_deliver():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0), (80, 120)], params)
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    nodes[2].send_over_link(data_frame(2, 1), next_hop=1)
+    sim.run(until=2.0)
+    senders = sorted(prev for _, prev in recorders[1].delivered)
+    assert senders == [0, 2]
+
+
+def test_nav_is_set_by_overheard_rts():
+    sim = Simulator(seed=5)
+    params = MacParams()
+    nodes, recorders = build_network(sim, [(0, 0), (150, 0), (100, 100)], params)
+    nodes[0].send_over_link(data_frame(0, 1), next_hop=1)
+    nav_values = []
+    sim.schedule(0.02, lambda: nav_values.append(nodes[2].mac._nav_until))
+    sim.run(until=1.0)
+    assert nav_values and nav_values[0] > 0.0
+
+
+def test_mac_params_validation():
+    with pytest.raises(ValueError):
+        MacParams(slot_time=-1.0)
+    with pytest.raises(ValueError):
+        MacParams(cw_min=0)
+    with pytest.raises(ValueError):
+        MacParams(cw_min=63, cw_max=31)
+    with pytest.raises(ValueError):
+        MacParams(retry_limit=0)
+    with pytest.raises(ValueError):
+        MacParams(data_rate=0.0)
+
+
+def test_frame_duration_accounts_for_rate_and_overhead():
+    params = MacParams(data_rate=2e6, basic_rate=1e6, phy_overhead=192e-6,
+                       mac_header_bytes=34)
+    unicast = params.frame_duration(1000, broadcast=False)
+    broadcast = params.frame_duration(1000, broadcast=True)
+    assert unicast == pytest.approx(192e-6 + 8 * 1034 / 2e6)
+    assert broadcast == pytest.approx(192e-6 + 8 * 1034 / 1e6)
+    assert params.ack_timeout() > params.sifs + params.ack_duration()
+    assert params.cts_timeout() > params.sifs + params.cts_duration()
+
+
+def test_nav_durations_cover_the_exchange():
+    params = MacParams()
+    data_size = 1040
+    assert params.nav_for_rts(data_size) > params.nav_for_cts(data_size)
+    assert params.nav_for_cts(data_size) > params.frame_duration(data_size)
+
+
+def test_needs_rts_logic():
+    params = MacParams(use_rts_cts=True, rts_threshold=256)
+    assert params.needs_rts(1000, broadcast=False)
+    assert not params.needs_rts(100, broadcast=False)
+    assert not params.needs_rts(1000, broadcast=True)
+    disabled = MacParams(use_rts_cts=False)
+    assert not disabled.needs_rts(1000, broadcast=False)

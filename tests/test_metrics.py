@@ -1,0 +1,198 @@
+"""Unit tests for the metrics: relay normalisation (Table I), security
+ratios (Equation 1 / Figure 7), TCP performance and the collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.relay import (
+    normalize_relay_counts,
+    participating_nodes,
+    relay_share_std,
+)
+from repro.metrics.security import highest_interception_ratio, interception_ratio
+from repro.metrics.tcp import compute_tcp_performance
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+
+#: The paper's Table I raw relay counts (node id -> beta).
+TABLE1_BETA = {2: 10581, 3: 283, 17: 1, 21: 3886, 23: 1, 28: 15458,
+               36: 275, 45: 1}
+
+
+class TestRelayNormalization:
+    def test_table1_alpha_and_gamma(self):
+        norm = normalize_relay_counts(TABLE1_BETA)
+        assert norm.alpha == 30486
+        assert norm.participating == 8
+        assert norm.gamma[2] == pytest.approx(0.3470, abs=1e-4)
+        assert norm.gamma[28] == pytest.approx(0.5070, abs=1e-4)
+        assert norm.gamma[21] == pytest.approx(0.1275, abs=1e-4)
+        assert sum(norm.gamma.values()) == pytest.approx(1.0)
+
+    def test_table1_standard_deviation_matches_paper(self):
+        """The paper's 19.60 % figure uses the sample (N-1) form."""
+        sample = normalize_relay_counts(TABLE1_BETA, ddof=1)
+        assert sample.std == pytest.approx(0.1960, abs=0.002)
+        population = normalize_relay_counts(TABLE1_BETA, ddof=0)
+        assert population.std == pytest.approx(0.1834, abs=0.002)
+        assert population.std < sample.std
+
+    def test_zero_relay_nodes_are_excluded(self):
+        norm = normalize_relay_counts({1: 10, 2: 0, 3: 5})
+        assert norm.participating == 2
+        assert 2 not in norm.beta
+
+    def test_empty_input(self):
+        norm = normalize_relay_counts({})
+        assert norm.alpha == 0
+        assert norm.std == 0.0
+        assert norm.participating == 0
+
+    def test_uniform_shares_have_zero_std(self):
+        norm = normalize_relay_counts({i: 100 for i in range(10)})
+        assert norm.std == pytest.approx(0.0)
+
+    def test_as_rows_sorted_by_node(self):
+        norm = normalize_relay_counts({5: 1, 2: 3})
+        assert [row[0] for row in norm.as_rows()] == [2, 5]
+
+    def test_participating_nodes_helper(self):
+        assert participating_nodes({1: 2, 2: 0, 3: 9}) == 2
+        assert participating_nodes({}) == 0
+
+    def test_relay_share_std_edge_cases(self):
+        assert relay_share_std([]) == 0.0
+        assert relay_share_std([1.0], ddof=1) == 0.0
+        assert relay_share_std([0.5, 0.5]) == pytest.approx(0.0)
+
+
+class TestSecurityMetrics:
+    def test_interception_ratio(self):
+        assert interception_ratio(50, 100) == pytest.approx(0.5)
+        assert interception_ratio(0, 100) == 0.0
+        assert interception_ratio(10, 0) == 0.0
+
+    def test_interception_ratio_invalid(self):
+        with pytest.raises(ValueError):
+            interception_ratio(-1, 10)
+
+    def test_highest_interception_ratio_uses_heaviest_relay(self):
+        counts = {1: 30, 2: 80, 3: 10}
+        assert highest_interception_ratio(counts, 100) == pytest.approx(0.8)
+
+    def test_highest_interception_ratio_edge_cases(self):
+        assert highest_interception_ratio({}, 100) == 0.0
+        assert highest_interception_ratio({1: 5}, 0) == 0.0
+        assert highest_interception_ratio({1: 0}, 10) == 0.0
+
+
+def _data_packet(kind=PacketKind.TCP, src=0, dst=9, uid_offset=0, size=1040,
+                 timestamp=0.0):
+    packet = Packet(kind=kind, src=src, dst=dst, size=size, timestamp=timestamp)
+    return packet
+
+
+class TestMetricsCollector:
+    def make(self, flows=None):
+        sim = Simulator(seed=1)
+        return sim, MetricsCollector(sim, track_flows=flows)
+
+    def test_origination_delivery_and_delay(self):
+        sim, collector = self.make()
+        packet = _data_packet(timestamp=0.0)
+        collector.on_data_originated(0, packet)
+        sim.schedule(0.25, lambda: collector.on_data_delivered(9, packet))
+        sim.run()
+        assert collector.total_data_originated() == 1
+        assert collector.total_data_delivered() == 1
+        assert collector.mean_delivery_delay() == pytest.approx(0.25)
+        assert collector.unique_tcp_delivered() == 1
+
+    def test_relay_counting_and_unique_tcp(self):
+        sim, collector = self.make()
+        packet = _data_packet()
+        collector.on_relay(3, packet)
+        collector.on_relay(3, packet)          # same segment twice
+        collector.on_relay(4, _data_packet(kind=PacketKind.TCP_ACK))
+        assert collector.relay_count_map() == {3: 2, 4: 1}
+        assert collector.relay_count_map(tcp_only=True) == {3: 2}
+        assert collector.relay_unique_tcp_counts() == {3: 1}
+
+    def test_control_overhead_counts_all_kinds(self):
+        sim, collector = self.make()
+        for kind in (PacketKind.RREQ, PacketKind.RREQ, PacketKind.CHECK):
+            collector.on_control_sent(1, Packet(kind=kind, src=0, dst=1, size=32))
+        assert collector.total_control_packets() == 3
+        assert collector.control_sent[PacketKind.RREQ] == 2
+
+    def test_eavesdrop_accounting(self):
+        sim, collector = self.make()
+        segment = _data_packet()
+        collector.on_eavesdrop(7, segment)
+        collector.on_eavesdrop(7, segment)     # duplicate capture
+        collector.on_eavesdrop(7, _data_packet(kind=PacketKind.TCP_ACK))
+        assert collector.unique_tcp_eavesdropped() == 1
+        assert collector.eavesdropped_total == 3
+        assert collector.eavesdropper_nodes == {7}
+
+    def test_flow_filter_excludes_other_traffic(self):
+        sim, collector = self.make(flows=[(0, 9)])
+        tracked = _data_packet(src=0, dst=9)
+        reverse = _data_packet(src=9, dst=0, kind=PacketKind.TCP_ACK)
+        foreign = _data_packet(src=3, dst=4)
+        for packet in (tracked, reverse, foreign):
+            collector.on_data_originated(packet.src, packet)
+            collector.on_relay(5, packet)
+        assert collector.total_data_originated() == 2
+        assert collector.relay_count_map() == {5: 2}
+
+    def test_drop_reasons(self):
+        sim, collector = self.make()
+        collector.on_data_dropped(4, _data_packet(), "no_route")
+        collector.on_data_dropped(4, _data_packet(), "no_route")
+        assert collector.drop_reasons["no_route"] == 2
+        assert collector.total_data_delivered() == 0
+
+    def test_snapshot_shape(self):
+        sim, collector = self.make()
+        collector.on_data_originated(0, _data_packet())
+        snapshot = collector.snapshot()
+        assert set(snapshot) >= {"data_originated", "data_delivered",
+                                 "control_sent", "relay_nodes", "mean_delay"}
+
+
+class TestTcpPerformance:
+    def test_metrics_derivation(self):
+        sim = Simulator(seed=1)
+        collector = MetricsCollector(sim)
+        for index in range(4):
+            packet = _data_packet(timestamp=0.0)
+            collector.on_data_originated(0, packet)
+            if index < 3:
+                collector.on_data_delivered(9, packet)
+        collector.on_control_sent(1, Packet(kind=PacketKind.RREQ, src=0,
+                                            dst=1, size=32))
+        perf = compute_tcp_performance(collector, duration=10.0)
+        assert perf.throughput_segments == 3
+        assert perf.delivery_rate == pytest.approx(0.75)
+        assert perf.control_overhead == 1
+        assert perf.unique_tcp_delivered == 3
+        assert perf.throughput_kbps == pytest.approx(8 * 3 * 1040 / 10.0 / 1000)
+
+    def test_zero_duration_rejected(self):
+        sim = Simulator(seed=1)
+        collector = MetricsCollector(sim)
+        with pytest.raises(ValueError):
+            compute_tcp_performance(collector, duration=0.0)
+
+    def test_delivery_rate_capped_at_one(self):
+        sim = Simulator(seed=1)
+        collector = MetricsCollector(sim)
+        packet = _data_packet()
+        collector.on_data_originated(0, packet)
+        collector.on_data_delivered(9, packet)
+        collector.on_data_delivered(9, packet)  # duplicate delivery
+        perf = compute_tcp_performance(collector, duration=1.0)
+        assert perf.delivery_rate == 1.0

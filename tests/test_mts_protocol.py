@@ -1,0 +1,245 @@
+"""Protocol-level tests for MTS over small static topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mts import MtsAgent, MtsConfig
+from repro.mobility.base import StaticMobility
+from repro.net.packet import Packet, PacketKind
+from repro.routing.packets import SRCROUTE_KEY, SourceRouteHeader
+from repro.sim.engine import Simulator
+from repro.transport.udp import UdpAgent
+
+from tests.conftest import CHAIN_POSITIONS, DIAMOND_POSITIONS, StaticNetwork
+
+
+def mts_factory(config=None):
+    def factory(sim, node, metrics):
+        return MtsAgent(sim, node, config or MtsConfig(), metrics)
+    return factory
+
+
+def setup_udp_flow(net, src, dst, port=80):
+    sender = UdpAgent(net.sim, net.node(src), local_port=port, dst=dst,
+                      dst_port=port)
+    receiver = UdpAgent(net.sim, net.node(dst), local_port=port)
+    return sender, receiver
+
+
+class TestMtsDiscoveryAndData:
+    def test_multi_hop_delivery_over_chain(self):
+        sim = Simulator(seed=40)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=mts_factory())
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        for index in range(5):
+            sim.schedule(0.1 * index, sender.send, 512)
+        sim.run(until=10.0)
+        assert receiver.datagrams_received == 5
+        assert net.agent(0).active_path_to(4) == [0, 1, 2, 3, 4]
+
+    def test_data_packets_carry_the_active_source_route(self):
+        sim = Simulator(seed=40)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=mts_factory())
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        captured = []
+        receiver.on_receive = captured.append
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        route = captured[0].headers.get(SRCROUTE_KEY)
+        assert route is not None and route.path == [0, 1, 2, 3, 4]
+
+    def test_destination_stores_disjoint_paths_in_diamond(self):
+        # Seed chosen so that both RREQ copies survive the flood (the copy
+        # arriving second can occasionally be lost to the RREP the
+        # destination transmits "immediately", as the paper specifies).
+        sim = Simulator(seed=43)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS, agent_factory=mts_factory())
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        flow = net.agent(3).flows.get(0)
+        assert flow is not None
+        paths = sorted(flow.path_set.paths())
+        assert paths == [[0, 1, 3], [0, 2, 3]]
+
+    def test_stored_paths_are_always_pairwise_disjoint(self):
+        """Whatever survives the flood, the stored set obeys the rule."""
+        from repro.core.disjoint import differ_in_first_and_last_hop
+        for seed in (41, 42, 43, 44):
+            sim = Simulator(seed=seed)
+            net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                                agent_factory=mts_factory())
+            sender, receiver = setup_udp_flow(net, 0, 3)
+            sim.schedule(0.0, sender.send, 512)
+            sim.run(until=5.0)
+            flow = net.agent(3).flows.get(0)
+            assert flow is not None and len(flow.path_set) >= 1
+            paths = flow.path_set.paths()
+            for i, path_a in enumerate(paths):
+                assert path_a[0] == 0 and path_a[-1] == 3
+                for path_b in paths[i + 1:]:
+                    assert differ_in_first_and_last_hop(path_a, path_b)
+
+    def test_intermediate_nodes_never_reply(self):
+        """Unlike DSR/AODV, no cached knowledge short-circuits discovery."""
+        sim = Simulator(seed=42)
+        net = StaticNetwork(sim, CHAIN_POSITIONS, agent_factory=mts_factory())
+        # Even if node 1 somehow knows a path, MTS has no reply-from-cache
+        # mechanism; the reply must come from the destination.
+        sender, receiver = setup_udp_flow(net, 0, 4)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        assert receiver.datagrams_received == 1
+        destination_stats = net.agent(4).stats
+        assert destination_stats["control_sent"] >= 1  # the RREP (and checks)
+
+    def test_max_paths_cap_respected(self):
+        sim = Simulator(seed=43)
+        config = MtsConfig(max_disjoint_paths=1)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                            agent_factory=mts_factory(config))
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=5.0)
+        flow = net.agent(3).flows.get(0)
+        assert flow is not None
+        assert len(flow.path_set) == 1
+
+
+class TestMtsChecking:
+    def test_checking_rounds_are_emitted_periodically(self):
+        sim = Simulator(seed=44)
+        config = MtsConfig(check_interval=1.0)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                            agent_factory=mts_factory(config),
+                            track_flows=[(0, 3)])
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        for index in range(10):
+            sim.schedule(1.0 * index, sender.send, 512)
+        sim.run(until=12.0)
+        flow = net.agent(3).flows.get(0)
+        assert flow.checking.rounds_emitted >= 5
+        # Checking packets are routing control traffic (Figure 11).
+        assert net.metrics.control_sent.get(PacketKind.CHECK, 0) >= 5
+
+    def test_source_accepts_first_check_of_each_round(self):
+        sim = Simulator(seed=45)
+        config = MtsConfig(check_interval=1.0)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                            agent_factory=mts_factory(config))
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        for index in range(10):
+            sim.schedule(1.0 * index, sender.send, 512)
+        sim.run(until=12.0)
+        selector = net.agent(0).selectors.get(3)
+        assert selector is not None
+        assert selector.last_check_id >= 5
+        assert selector.active_path in {(0, 1, 3), (0, 2, 3)}
+
+    def test_checking_stops_for_idle_flows(self):
+        sim = Simulator(seed=46)
+        config = MtsConfig(check_interval=0.5, flow_idle_timeout=2.0)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                            agent_factory=mts_factory(config))
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=20.0)
+        flow = net.agent(3).flows.get(0)
+        # Activity stopped after the single datagram, so checking must have
+        # been suspended well before 20 s (at most ~4-5 rounds emitted).
+        assert flow.checking.rounds_emitted <= 6
+
+    def test_failed_check_removes_the_stale_path(self):
+        sim = Simulator(seed=47)
+        config = MtsConfig(check_interval=1.0)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS,
+                            agent_factory=mts_factory(config))
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        for index in range(20):
+            sim.schedule(0.5 * index, sender.send, 512)
+        # Break the branch through node 1 shortly after discovery; route
+        # checking must detect it and delete the stale path.
+        sim.schedule(2.0, lambda: setattr(net.node(1), "mobility",
+                                          StaticMobility(9000.0, 9000.0)))
+        sim.run(until=15.0)
+        flow = net.agent(3).flows.get(0)
+        assert flow is not None
+        remaining = flow.path_set.paths()
+        assert [0, 1, 3] not in remaining
+        # Traffic keeps flowing over the surviving branch.
+        assert receiver.datagrams_received >= 15
+
+
+class TestMtsFailureHandling:
+    def test_flush_on_new_discovery(self):
+        sim = Simulator(seed=48)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS, agent_factory=mts_factory())
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        sim.schedule(0.0, sender.send, 512)
+        sim.run(until=3.0)
+        flow = net.agent(3).flows.get(0)
+        first_bcast = flow.path_set.current_broadcast_id
+        # Force a second discovery from the source.
+        source_agent = net.agent(0)
+        source_agent.selectors[3].clear(sim.now)
+        sim.schedule_at(3.0, sender.send, 512)
+        sim.run(until=6.0)
+        assert flow.path_set.current_broadcast_id > first_bcast
+        assert receiver.datagrams_received == 2
+
+    def test_source_recovers_after_active_path_break(self):
+        sim = Simulator(seed=49)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS, agent_factory=mts_factory())
+        sender, receiver = setup_udp_flow(net, 0, 3)
+        for index in range(40):
+            sim.schedule(0.2 * index, sender.send, 512)
+        sim.schedule(3.0, lambda: setattr(net.node(1), "mobility",
+                                          StaticMobility(9000.0, 9000.0)))
+        sim.run(until=15.0)
+        assert receiver.datagrams_received >= 30
+        active = net.agent(0).active_path_to(3)
+        assert active is not None
+        assert 1 not in active
+
+    def test_check_error_generated_when_forwarding_fails(self):
+        """An intermediate node that cannot forward a checking packet
+        reports a checking error back to the destination."""
+        sim = Simulator(seed=50)
+        agent_nodes = StaticNetwork(sim, CHAIN_POSITIONS,
+                                    agent_factory=mts_factory())
+        agent = agent_nodes.agent(2)
+        sent = []
+        agent.send_control = lambda packet, next_hop: sent.append(packet)
+        from repro.routing.packets import CheckHeader
+        check = Packet(kind=PacketKind.CHECK, src=4, dst=0, size=32)
+        check_header = CheckHeader(check_id=3, origin=0, target=4,
+                                   path=[0, 1, 2, 3, 4])
+        check.set_header("check", check_header)
+        check.set_header(SRCROUTE_KEY,
+                         SourceRouteHeader(path=[4, 3, 2, 1, 0], index=2))
+        agent.link_failed(check, next_hop=1)
+        assert len(sent) == 1
+        assert sent[0].kind == PacketKind.CHECK_ERR
+        err_header = sent[0].get_header("check_err")
+        assert err_header.failed_path == [0, 1, 2, 3, 4]
+        assert err_header.broken_link == (2, 1)
+
+    def test_destination_removes_path_on_check_error(self):
+        sim = Simulator(seed=51)
+        net = StaticNetwork(sim, DIAMOND_POSITIONS, agent_factory=mts_factory())
+        destination = net.agent(3)
+        from repro.core.paths import PathSet
+        from repro.core.mts import DestinationFlowState
+        flow = DestinationFlowState(origin=0, path_set=PathSet(5))
+        flow.path_set.try_add([0, 1, 3], now=0.0, broadcast_id=1)
+        flow.path_set.try_add([0, 2, 3], now=0.0, broadcast_id=1)
+        destination.flows[0] = flow
+        from repro.routing.packets import CheckErrHeader, CHECK_ERR_KEY
+        err = Packet(kind=PacketKind.CHECK_ERR, src=1, dst=3, size=32)
+        err.set_header(CHECK_ERR_KEY,
+                       CheckErrHeader(check_id=1, reporter=1, target=3,
+                                      failed_path=[0, 1, 3],
+                                      broken_link=(1, 3)))
+        destination.route_input(err, prev_hop=1)
+        assert flow.path_set.paths() == [[0, 2, 3]]

@@ -1,0 +1,188 @@
+"""Unit tests for the MTS building blocks: disjointness rule, path store,
+checking round counter and source-side route selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checking import CheckingState, SourceRouteSelector
+from repro.core.disjoint import (
+    are_node_disjoint,
+    differ_in_first_and_last_hop,
+    first_hop,
+    is_valid_path,
+    last_hop,
+)
+from repro.core.paths import PathSet
+
+
+class TestDisjointPredicates:
+    def test_first_and_last_hop(self):
+        assert first_hop([0, 1, 2, 3]) == 1
+        assert last_hop([0, 1, 2, 3]) == 2
+        assert first_hop([0, 3]) == 3
+        assert last_hop([0, 3]) == 0
+
+    def test_too_short_paths_raise(self):
+        with pytest.raises(ValueError):
+            first_hop([0])
+        with pytest.raises(ValueError):
+            last_hop([5])
+
+    def test_paper_figure3_example(self):
+        """S-a-b-D vs S-a-b-c-D are NOT disjoint (same first hop)."""
+        s, a, b, c, d = 0, 1, 2, 3, 9
+        assert not differ_in_first_and_last_hop([s, a, b, d], [s, a, b, c, d])
+
+    def test_fully_distinct_paths_are_disjoint(self):
+        assert differ_in_first_and_last_hop([0, 1, 2, 9], [0, 3, 4, 9])
+
+    def test_same_last_hop_rejected(self):
+        assert not differ_in_first_and_last_hop([0, 1, 5, 9], [0, 2, 5, 9])
+
+    def test_identical_paths_rejected(self):
+        assert not differ_in_first_and_last_hop([0, 1, 9], [0, 1, 9])
+
+    def test_node_disjoint_is_stricter(self):
+        # Different first/last hops but a shared interior node.
+        path_a = [0, 1, 7, 2, 9]
+        path_b = [0, 3, 7, 4, 9]
+        assert differ_in_first_and_last_hop(path_a, path_b)
+        assert not are_node_disjoint(path_a, path_b)
+        assert are_node_disjoint([0, 1, 2, 9], [0, 3, 4, 9])
+
+    def test_is_valid_path(self):
+        assert is_valid_path([0, 1])
+        assert not is_valid_path([0])
+        assert not is_valid_path([0, 1, 0])
+
+
+class TestPathSet:
+    def test_first_path_always_accepted(self):
+        store = PathSet(max_paths=5)
+        assert store.try_add([0, 1, 9], now=1.0, broadcast_id=1)
+        assert len(store) == 1
+
+    def test_non_disjoint_path_rejected(self):
+        store = PathSet(max_paths=5)
+        store.try_add([0, 1, 2, 9], now=1.0, broadcast_id=1)
+        assert not store.try_add([0, 1, 3, 9], now=1.1, broadcast_id=1)
+        assert store.rejected_not_disjoint == 1
+
+    def test_disjoint_paths_accumulate_up_to_cap(self):
+        store = PathSet(max_paths=2)
+        assert store.try_add([0, 1, 2, 9], now=1.0, broadcast_id=1)
+        assert store.try_add([0, 3, 4, 9], now=1.1, broadcast_id=1)
+        assert not store.try_add([0, 5, 6, 9], now=1.2, broadcast_id=1)
+        assert store.rejected_full == 1
+        assert len(store) == 2
+
+    def test_newer_discovery_flushes_older_paths(self):
+        store = PathSet(max_paths=5)
+        store.try_add([0, 1, 9], now=1.0, broadcast_id=1)
+        assert store.try_add([0, 2, 9], now=5.0, broadcast_id=2)
+        assert store.paths() == [[0, 2, 9]]
+        assert store.current_broadcast_id == 2
+        assert store.flushes == 1
+
+    def test_older_discovery_ignored(self):
+        store = PathSet(max_paths=5)
+        store.try_add([0, 1, 9], now=5.0, broadcast_id=3)
+        assert not store.try_add([0, 2, 9], now=6.0, broadcast_id=2)
+        assert store.paths() == [[0, 1, 9]]
+
+    def test_remove_and_find(self):
+        store = PathSet()
+        store.try_add([0, 1, 9], now=1.0, broadcast_id=1)
+        store.try_add([0, 2, 9], now=1.0, broadcast_id=1)
+        assert store.find([0, 1, 9]) is not None
+        assert store.remove([0, 1, 9])
+        assert store.find([0, 1, 9]) is None
+        assert not store.remove([0, 7, 9])
+
+    def test_remove_containing_link(self):
+        store = PathSet()
+        store.try_add([0, 1, 2, 9], now=1.0, broadcast_id=1)
+        store.try_add([0, 3, 4, 9], now=1.0, broadcast_id=1)
+        removed = store.remove_containing_link(2, 1)
+        assert removed == 1
+        assert store.paths() == [[0, 3, 4, 9]]
+
+    def test_invalid_paths_rejected(self):
+        store = PathSet()
+        assert not store.try_add([0], now=1.0, broadcast_id=1)
+        assert not store.try_add([0, 1, 0], now=1.0, broadcast_id=1)
+
+    def test_strict_node_disjoint_mode(self):
+        store = PathSet(strict_node_disjoint=True)
+        store.try_add([0, 1, 7, 2, 9], now=1.0, broadcast_id=1)
+        # Shares interior node 7: rejected in strict mode even though the
+        # endpoint-hop rule would accept it.
+        assert not store.try_add([0, 3, 7, 4, 9], now=1.0, broadcast_id=1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            PathSet(max_paths=0)
+
+
+class TestCheckingState:
+    def test_round_counter_increments_once_per_round(self):
+        state = CheckingState()
+        check_id, probe = state.next_round([[0, 1, 9], [0, 2, 9]])
+        assert check_id == 1
+        assert len(probe) == 2
+        check_id, probe = state.next_round([[0, 1, 9]])
+        assert check_id == 2
+        assert state.rounds_emitted == 2
+        assert state.packets_emitted == 3
+
+    def test_empty_path_list_consumes_no_round(self):
+        state = CheckingState()
+        check_id, probe = state.next_round([])
+        assert check_id == 0
+        assert probe == []
+        assert state.rounds_emitted == 0
+
+    def test_degenerate_paths_filtered(self):
+        state = CheckingState()
+        check_id, probe = state.next_round([[5], [0, 1, 9]])
+        assert probe == [[0, 1, 9]]
+
+
+class TestSourceRouteSelector:
+    def test_install_from_reply(self):
+        selector = SourceRouteSelector()
+        selector.install_from_reply([0, 1, 9], now=1.0)
+        assert selector.has_route
+        assert selector.active_path == (0, 1, 9)
+        assert selector.installs_from_rrep == 1
+
+    def test_first_check_of_round_wins(self):
+        selector = SourceRouteSelector()
+        selector.install_from_reply([0, 1, 9], now=1.0)
+        assert selector.offer_check([0, 2, 9], check_id=1, now=2.0)
+        assert selector.active_path == (0, 2, 9)
+        assert selector.switches_from_check == 1
+        # A later packet of the same round is ignored.
+        assert not selector.offer_check([0, 3, 9], check_id=1, now=2.1)
+        assert selector.active_path == (0, 2, 9)
+
+    def test_stale_round_ignored(self):
+        selector = SourceRouteSelector()
+        selector.offer_check([0, 1, 9], check_id=5, now=1.0)
+        assert not selector.offer_check([0, 2, 9], check_id=4, now=1.5)
+        assert selector.active_path == (0, 1, 9)
+
+    def test_same_path_confirmation_does_not_count_as_switch(self):
+        selector = SourceRouteSelector()
+        selector.offer_check([0, 1, 9], check_id=1, now=1.0)
+        switches = selector.switches_from_check
+        selector.offer_check([0, 1, 9], check_id=2, now=4.0)
+        assert selector.switches_from_check == switches
+
+    def test_clear(self):
+        selector = SourceRouteSelector()
+        selector.install_from_reply([0, 1, 9], now=1.0)
+        selector.clear(now=2.0)
+        assert not selector.has_route
+        assert selector.active_path is None

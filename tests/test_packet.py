@@ -1,0 +1,111 @@
+"""Unit tests for the packet model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addressing import BROADCAST, is_broadcast, validate_node_id
+from repro.net.packet import (
+    Packet, PacketKind, is_data_kind, is_routing_kind,
+)
+
+
+def make_packet(**overrides):
+    params = dict(kind=PacketKind.TCP, src=1, dst=2, size=1040,
+                  src_port=10, dst_port=20)
+    params.update(overrides)
+    return Packet(**params)
+
+
+def test_uids_are_unique_and_increasing():
+    a = make_packet()
+    b = make_packet()
+    assert b.uid > a.uid
+
+
+def test_kind_classification():
+    assert is_data_kind(PacketKind.TCP)
+    assert is_data_kind(PacketKind.TCP_ACK)
+    assert is_data_kind(PacketKind.UDP)
+    assert not is_data_kind(PacketKind.RREQ)
+    assert is_routing_kind(PacketKind.RREQ)
+    assert is_routing_kind(PacketKind.CHECK)
+    assert is_routing_kind(PacketKind.CHECK_ERR)
+    assert not is_routing_kind(PacketKind.MAC_ACK)
+    assert not is_routing_kind(PacketKind.TCP)
+
+
+def test_packet_is_data_and_is_routing_properties():
+    data = make_packet(kind=PacketKind.UDP)
+    ctrl = make_packet(kind=PacketKind.RREP)
+    assert data.is_data and not data.is_routing
+    assert ctrl.is_routing and not ctrl.is_data
+
+
+def test_default_mac_destination_is_broadcast():
+    packet = make_packet()
+    assert packet.is_broadcast
+    assert is_broadcast(packet.mac_dst)
+    packet.mac_dst = 5
+    assert not packet.is_broadcast
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        make_packet(size=0)
+    with pytest.raises(ValueError):
+        make_packet(size=-10)
+
+
+def test_header_roundtrip():
+    packet = make_packet()
+    packet.set_header("tcp", {"seqno": 7})
+    assert packet.has_header("tcp")
+    assert packet.get_header("tcp") == {"seqno": 7}
+    assert not packet.has_header("rreq")
+    with pytest.raises(KeyError):
+        packet.get_header("rreq")
+
+
+def test_copy_preserves_uid_by_default():
+    packet = make_packet()
+    clone = packet.copy()
+    assert clone.uid == packet.uid
+    assert clone.src == packet.src and clone.dst == packet.dst
+    assert clone.size == packet.size
+
+
+def test_copy_with_new_uid():
+    packet = make_packet()
+    clone = packet.copy(new_uid=True)
+    assert clone.uid != packet.uid
+
+
+def test_copy_deep_copies_headers():
+    packet = make_packet()
+    packet.set_header("route", {"path": [1, 2, 3]})
+    clone = packet.copy()
+    clone.get_header("route")["path"].append(4)
+    assert packet.get_header("route")["path"] == [1, 2, 3]
+
+
+def test_copy_preserves_hop_fields():
+    packet = make_packet()
+    packet.mac_src, packet.mac_dst = 3, 4
+    packet.hop_count = 2
+    packet.ttl = 9
+    clone = packet.copy()
+    assert (clone.mac_src, clone.mac_dst) == (3, 4)
+    assert clone.hop_count == 2
+    assert clone.ttl == 9
+
+
+def test_validate_node_id():
+    assert validate_node_id(0) == 0
+    assert validate_node_id(17) == 17
+    with pytest.raises(ValueError):
+        validate_node_id(-1)
+    with pytest.raises(ValueError):
+        validate_node_id(True)
+    with pytest.raises(ValueError):
+        validate_node_id("3")  # type: ignore[arg-type]

@@ -1,0 +1,97 @@
+"""Unit tests for the propagation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.propagation import (
+    SPEED_OF_LIGHT,
+    LogDistanceShadowing,
+    RangePropagation,
+    TwoRayGround,
+)
+
+
+class TestRangePropagation:
+    def test_inside_and_outside_range(self):
+        model = RangePropagation(250.0)
+        assert model.in_range(0.0)
+        assert model.in_range(249.9)
+        assert model.in_range(250.0)
+        assert not model.in_range(250.1)
+
+    def test_nominal_and_detection_range(self):
+        model = RangePropagation(250.0, carrier_sense_factor=2.0)
+        assert model.nominal_range() == 250.0
+        assert model.detection_range() == 500.0
+
+    def test_propagation_delay(self):
+        model = RangePropagation(250.0)
+        assert model.delay(SPEED_OF_LIGHT) == pytest.approx(1.0)
+        assert model.delay(0.0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RangePropagation(0.0)
+        with pytest.raises(ValueError):
+            RangePropagation(100.0, carrier_sense_factor=0.5)
+
+
+class TestTwoRayGround:
+    def test_threshold_calibrated_to_nominal_range(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        assert model.in_range(249.0)
+        assert model.in_range(250.0)
+        assert not model.in_range(251.0)
+
+    def test_received_power_decreases_with_distance(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        closer = model.received_power(50.0)
+        farther = model.received_power(200.0)
+        assert closer > farther > 0.0
+
+    def test_fourth_power_decay_beyond_crossover(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        d = max(2 * model.crossover_m, 400.0)
+        ratio = model.received_power(d) / model.received_power(2 * d)
+        assert ratio == pytest.approx(16.0, rel=1e-6)
+
+
+class TestLogDistanceShadowing:
+    def test_deterministic_when_sigma_zero(self):
+        model = LogDistanceShadowing(nominal_range_m=250.0, sigma_db=0.0)
+        assert model.in_range(249.0)
+        assert not model.in_range(251.0)
+        assert model.reception_probability(100.0) == 1.0
+        assert model.reception_probability(400.0) == 0.0
+
+    def test_probability_is_half_at_nominal_range(self):
+        model = LogDistanceShadowing(nominal_range_m=250.0, sigma_db=4.0)
+        assert model.reception_probability(250.0) == pytest.approx(0.5)
+
+    def test_probability_monotonically_decreases(self):
+        model = LogDistanceShadowing(nominal_range_m=250.0, sigma_db=6.0)
+        distances = [50.0, 150.0, 250.0, 350.0, 500.0]
+        probabilities = [model.reception_probability(d) for d in distances]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_randomised_reception_uses_rng(self):
+        model = LogDistanceShadowing(nominal_range_m=250.0, sigma_db=8.0)
+        rng = np.random.default_rng(0)
+        outcomes = {model.in_range(250.0, rng) for _ in range(200)}
+        assert outcomes == {True, False}
+
+    def test_detection_range_extends_with_shadowing(self):
+        deterministic = LogDistanceShadowing(250.0, sigma_db=0.0)
+        shadowed = LogDistanceShadowing(250.0, sigma_db=8.0)
+        assert deterministic.detection_range() == 250.0
+        assert shadowed.detection_range() > 250.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(nominal_range_m=-1.0)
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(250.0, path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(250.0, sigma_db=-2.0)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checking import SourceRouteSelector
+from repro.core.disjoint import differ_in_first_and_last_hop, is_valid_path
+from repro.core.paths import PathSet
+from repro.metrics.relay import normalize_relay_counts, relay_share_std
+from repro.metrics.security import highest_interception_ratio, interception_ratio
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.transport.rto import RtoEstimator
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# simulation engine
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_engine_fires_events_in_nondecreasing_time_order(delays):
+    sim = Simulator(seed=1)
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)
+    assert sim.now == max(fired)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32),
+       st.text(alphabet="abcdefgh", min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_rng_streams_are_reproducible(seed, name):
+    a = RngRegistry(seed).stream(name).random(4).tolist()
+    b = RngRegistry(seed).stream(name).random(4).tolist()
+    assert a == b
+
+
+# --------------------------------------------------------------------------- #
+# mobility
+# --------------------------------------------------------------------------- #
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       max_speed=st.floats(min_value=0.5, max_value=30.0),
+       time=st.floats(min_value=0.0, max_value=500.0))
+@settings(max_examples=60, deadline=None)
+def test_random_waypoint_positions_always_inside_field(seed, max_speed, time):
+    model = RandomWaypoint(np.random.default_rng(seed),
+                           field_size=(600.0, 400.0), max_speed=max_speed)
+    x, y = model.position(time)
+    assert 0.0 <= x <= 600.0
+    assert 0.0 <= y <= 400.0
+
+
+# --------------------------------------------------------------------------- #
+# MTS path store / disjointness
+# --------------------------------------------------------------------------- #
+paths_strategy = st.lists(
+    st.lists(st.integers(min_value=1, max_value=30), min_size=0, max_size=6),
+    min_size=0, max_size=12,
+)
+
+
+@given(paths_strategy)
+@settings(max_examples=80, deadline=None)
+def test_pathset_stores_only_pairwise_disjoint_valid_paths(candidate_interiors):
+    store = PathSet(max_paths=5)
+    for interior in candidate_interiors:
+        path = [0] + interior + [99]
+        store.try_add(path, now=1.0, broadcast_id=1)
+    stored = store.paths()
+    assert len(stored) <= 5
+    for path in stored:
+        assert is_valid_path(path)
+        assert path[0] == 0 and path[-1] == 99
+    for i, path_a in enumerate(stored):
+        for path_b in stored[i + 1:]:
+            assert differ_in_first_and_last_hop(path_a, path_b)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=6,
+                unique=True),
+       st.lists(st.integers(min_value=21, max_value=40), min_size=2,
+                max_size=6, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_disjoint_rule_is_symmetric(interior_a, interior_b):
+    path_a = [0] + interior_a + [99]
+    path_b = [0] + interior_b + [99]
+    assert (differ_in_first_and_last_hop(path_a, path_b)
+            == differ_in_first_and_last_hop(path_b, path_a))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                          st.integers(min_value=0, max_value=1000)),
+                min_size=1, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_selector_active_path_tracks_newest_round(offers):
+    selector = SourceRouteSelector()
+    best_seen = -1
+    for node, check_id in offers:
+        path = [0, node + 100, 999]
+        accepted = selector.offer_check(path, check_id, now=float(check_id))
+        if check_id > best_seen:
+            assert accepted
+            best_seen = check_id
+            assert selector.active_path == tuple(path)
+        else:
+            assert not accepted
+    assert selector.last_check_id == best_seen
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+@given(st.dictionaries(st.integers(min_value=0, max_value=60),
+                       st.integers(min_value=0, max_value=10_000),
+                       max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_relay_normalization_invariants(counts):
+    norm = normalize_relay_counts(counts)
+    assert norm.alpha == sum(v for v in counts.values() if v > 0)
+    if norm.alpha > 0:
+        assert math.isclose(sum(norm.gamma.values()), 1.0, rel_tol=1e-9)
+        assert all(0.0 < share <= 1.0 for share in norm.gamma.values())
+        # The standard deviation of values in [0, 1] is bounded by 0.5.
+        assert 0.0 <= norm.std <= 0.5 + 1e-9
+    else:
+        assert norm.std == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=0, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_relay_share_std_nonnegative_and_zero_for_uniform(shares):
+    assert relay_share_std(shares) >= 0.0
+    if shares:
+        uniform = [1.0 / len(shares)] * len(shares)
+        assert relay_share_std(uniform) <= 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=80, deadline=None)
+def test_interception_ratio_bounds(pe, pr):
+    ratio = interception_ratio(pe, pr)
+    assert ratio >= 0.0
+    if pr > 0 and pe <= pr:
+        assert ratio <= 1.0
+
+
+@given(st.dictionaries(st.integers(min_value=0, max_value=30),
+                       st.integers(min_value=0, max_value=500), max_size=20),
+       st.integers(min_value=1, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_highest_interception_dominates_every_node(counts, pr):
+    highest = highest_interception_ratio(counts, pr)
+    for count in counts.values():
+        assert highest >= count / pr - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# TCP RTO estimator
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_rto_always_within_configured_bounds(samples):
+    rto = RtoEstimator(min_rto=0.2, max_rto=60.0)
+    for sample in samples:
+        rto.update(sample)
+        assert 0.2 <= rto.timeout() <= 60.0
+    rto.backoff()
+    assert 0.2 <= rto.timeout() <= 60.0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+                min_size=2, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_rto_exceeds_smoothed_rtt(samples):
+    """The timeout must never undercut the smoothed RTT estimate."""
+    rto = RtoEstimator(min_rto=1e-6, max_rto=1e6)
+    for sample in samples:
+        rto.update(sample)
+    assert rto.timeout() >= rto.srtt

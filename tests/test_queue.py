@@ -1,0 +1,152 @@
+"""Unit tests for the interface queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.queue import DropTailQueue, PriorityQueue
+
+
+def data_packet(uid_hint=0):
+    return Packet(kind=PacketKind.TCP, src=0, dst=1, size=1000)
+
+
+def control_packet():
+    return Packet(kind=PacketKind.RREQ, src=0, dst=1, size=32)
+
+
+class FakeMac:
+    def __init__(self):
+        self.wakeups = 0
+
+    def wakeup(self):
+        self.wakeups += 1
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity=10)
+        packets = [data_packet() for _ in range(3)]
+        for packet in packets:
+            assert queue.enqueue(packet)
+        assert [queue.dequeue() for _ in range(3)] == packets
+        assert queue.dequeue() is None
+
+    def test_capacity_enforced_with_tail_drop(self):
+        queue = DropTailQueue(capacity=2)
+        assert queue.enqueue(data_packet())
+        assert queue.enqueue(data_packet())
+        assert not queue.enqueue(data_packet())
+        assert len(queue) == 2
+        assert queue.dropped == 1
+
+    def test_peek_does_not_remove(self):
+        queue = DropTailQueue()
+        packet = data_packet()
+        queue.enqueue(packet)
+        assert queue.peek() is packet
+        assert len(queue) == 1
+
+    def test_mac_wakeup_called_on_enqueue(self):
+        queue = DropTailQueue()
+        mac = FakeMac()
+        queue.attach_mac(mac)
+        queue.enqueue(data_packet())
+        assert mac.wakeups == 1
+
+    def test_remove_matching(self):
+        queue = DropTailQueue()
+        keep = data_packet()
+        drop = data_packet()
+        drop.mac_dst = 9
+        queue.enqueue(keep)
+        queue.enqueue(drop)
+        removed = queue.remove_matching(lambda p: p.mac_dst == 9)
+        assert removed == [drop]
+        assert len(queue) == 1
+        assert queue.peek() is keep
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity=0)
+
+    def test_counters(self):
+        queue = DropTailQueue(capacity=1)
+        queue.enqueue(data_packet())
+        queue.enqueue(data_packet())
+        queue.dequeue()
+        assert queue.enqueued == 1
+        assert queue.dropped == 1
+        assert queue.dequeued == 1
+
+
+class TestPriorityQueue:
+    def test_control_served_before_data(self):
+        queue = PriorityQueue()
+        data = data_packet()
+        ctrl = control_packet()
+        queue.enqueue(data)
+        queue.enqueue(ctrl)
+        assert queue.dequeue() is ctrl
+        assert queue.dequeue() is data
+
+    def test_fifo_within_each_class(self):
+        queue = PriorityQueue()
+        ctrl1, ctrl2 = control_packet(), control_packet()
+        data1, data2 = data_packet(), data_packet()
+        for packet in (data1, ctrl1, data2, ctrl2):
+            queue.enqueue(packet)
+        assert [queue.dequeue() for _ in range(4)] == [ctrl1, ctrl2, data1, data2]
+
+    def test_control_evicts_newest_data_when_full(self):
+        queue = PriorityQueue(capacity=2)
+        data1, data2 = data_packet(), data_packet()
+        queue.enqueue(data1)
+        queue.enqueue(data2)
+        ctrl = control_packet()
+        assert queue.enqueue(ctrl)
+        assert len(queue) == 2
+        assert queue.dequeue() is ctrl
+        assert queue.dequeue() is data1  # the newest data packet was evicted
+
+    def test_control_dropped_when_full_of_control(self):
+        queue = PriorityQueue(capacity=2)
+        queue.enqueue(control_packet())
+        queue.enqueue(control_packet())
+        assert not queue.enqueue(control_packet())
+        assert queue.dropped == 1
+
+    def test_data_dropped_when_full(self):
+        queue = PriorityQueue(capacity=1)
+        queue.enqueue(control_packet())
+        assert not queue.enqueue(data_packet())
+
+    def test_peek_prefers_control(self):
+        queue = PriorityQueue()
+        data = data_packet()
+        ctrl = control_packet()
+        queue.enqueue(data)
+        assert queue.peek() is data
+        queue.enqueue(ctrl)
+        assert queue.peek() is ctrl
+
+    def test_remove_matching_covers_both_classes(self):
+        queue = PriorityQueue()
+        data = data_packet()
+        ctrl = control_packet()
+        data.mac_dst = 7
+        ctrl.mac_dst = 7
+        queue.enqueue(data)
+        queue.enqueue(ctrl)
+        removed = queue.remove_matching(lambda p: p.mac_dst == 7)
+        assert set(id(p) for p in removed) == {id(data), id(ctrl)}
+        assert queue.is_empty
+
+    def test_is_empty_and_len(self):
+        queue = PriorityQueue()
+        assert queue.is_empty
+        queue.enqueue(control_packet())
+        queue.enqueue(data_packet())
+        assert len(queue) == 2
+        assert not queue.is_empty

@@ -1,0 +1,74 @@
+"""Unit tests for routing control packet headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.packets import (
+    ADDRESS_SIZE,
+    CHECK_BASE_SIZE,
+    RREQ_BASE_SIZE,
+    CheckErrHeader,
+    CheckHeader,
+    RerrHeader,
+    RreqHeader,
+    RrepHeader,
+    SourceRouteHeader,
+    control_packet_size,
+)
+
+
+def test_control_packet_size_scales_with_addresses():
+    assert control_packet_size(RREQ_BASE_SIZE, 0) == RREQ_BASE_SIZE
+    assert (control_packet_size(RREQ_BASE_SIZE, 3)
+            == RREQ_BASE_SIZE + 3 * ADDRESS_SIZE)
+    assert control_packet_size(CHECK_BASE_SIZE, -2) == CHECK_BASE_SIZE
+
+
+def test_rreq_flood_key_identifies_discovery():
+    a = RreqHeader(origin=1, target=9, broadcast_id=4)
+    b = RreqHeader(origin=1, target=9, broadcast_id=4, hop_count=3)
+    c = RreqHeader(origin=1, target=9, broadcast_id=5)
+    assert a.flood_key() == b.flood_key()
+    assert a.flood_key() != c.flood_key()
+
+
+def test_rrep_defaults():
+    header = RrepHeader(origin=1, target=2, reply_id=1)
+    assert header.path == []
+    assert not header.from_cache
+
+
+def test_rerr_holds_broken_link_and_unreachable_set():
+    header = RerrHeader(reporter=3, broken_link=(3, 7), unreachable={9: 12})
+    assert header.broken_link == (3, 7)
+    assert header.unreachable == {9: 12}
+    assert header.target_origin is None
+
+
+class TestSourceRouteHeader:
+    def test_next_hop_and_advance(self):
+        route = SourceRouteHeader(path=[0, 1, 2, 3])
+        assert route.next_hop() == 1
+        route.advance()
+        assert route.next_hop() == 2
+        assert route.remaining_hops() == 2
+
+    def test_exhausted_route_raises(self):
+        route = SourceRouteHeader(path=[0, 1], index=1)
+        assert route.remaining_hops() == 0
+        with pytest.raises(ValueError):
+            route.next_hop()
+
+
+def test_check_header_fields():
+    header = CheckHeader(check_id=4, origin=0, target=9, path=[0, 3, 9])
+    assert header.check_id == 4
+    assert header.path[-1] == header.target
+
+
+def test_check_err_header_fields():
+    header = CheckErrHeader(check_id=4, reporter=3, target=9,
+                            failed_path=[0, 3, 9], broken_link=(3, 9))
+    assert header.failed_path[0] == 0
+    assert header.broken_link == (3, 9)

@@ -1,0 +1,85 @@
+"""Unit tests for the RTO estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.rto import RtoEstimator
+
+
+def test_initial_timeout_before_any_sample():
+    rto = RtoEstimator(initial_rto=3.0)
+    assert rto.timeout() == pytest.approx(3.0)
+
+
+def test_first_sample_initialises_srtt_and_rttvar():
+    rto = RtoEstimator(min_rto=0.1)
+    rto.update(0.4)
+    assert rto.srtt == pytest.approx(0.4)
+    assert rto.rttvar == pytest.approx(0.2)
+    assert rto.timeout() == pytest.approx(0.4 + 4 * 0.2)
+
+
+def test_smoothing_follows_rfc6298():
+    rto = RtoEstimator(min_rto=0.01)
+    rto.update(1.0)
+    rto.update(1.0)
+    assert rto.srtt == pytest.approx(1.0)
+    assert rto.rttvar == pytest.approx(0.375)  # (1-beta)*0.5
+
+
+def test_timeout_clamped_to_min_and_max():
+    rto = RtoEstimator(min_rto=0.5, max_rto=2.0)
+    rto.update(0.001)
+    assert rto.timeout() == pytest.approx(0.5)
+    rto.update(100.0)  # huge sample pushes the raw RTO beyond max
+    assert rto.timeout() == pytest.approx(2.0)
+
+
+def test_backoff_doubles_and_is_cleared_by_sample():
+    rto = RtoEstimator(min_rto=0.2, max_rto=60.0)
+    rto.update(0.3)
+    base = rto.timeout()
+    assert rto.backoff() == pytest.approx(min(2 * base, 60.0))
+    assert rto.backoff() == pytest.approx(min(4 * base, 60.0))
+    rto.update(0.3)
+    assert rto.timeout() == pytest.approx(rto.srtt + 4 * rto.rttvar, rel=1e-6)
+
+
+def test_backoff_respects_max():
+    rto = RtoEstimator(min_rto=1.0, max_rto=4.0)
+    for _ in range(10):
+        rto.backoff()
+    assert rto.timeout() <= 4.0
+
+
+def test_reset_clears_history():
+    rto = RtoEstimator()
+    rto.update(0.5)
+    rto.backoff()
+    rto.reset()
+    assert rto.srtt is None
+    assert rto.samples == 0
+    assert rto.backoff_factor == 1
+
+
+def test_variance_grows_with_jitter():
+    smooth = RtoEstimator(min_rto=0.001)
+    jittery = RtoEstimator(min_rto=0.001)
+    for _ in range(20):
+        smooth.update(0.2)
+    for i in range(20):
+        jittery.update(0.05 if i % 2 == 0 else 0.35)
+    assert jittery.timeout() > smooth.timeout()
+
+
+def test_invalid_parameters_and_samples():
+    with pytest.raises(ValueError):
+        RtoEstimator(min_rto=0.0)
+    with pytest.raises(ValueError):
+        RtoEstimator(min_rto=2.0, max_rto=1.0)
+    with pytest.raises(ValueError):
+        RtoEstimator(alpha=1.5)
+    rto = RtoEstimator()
+    with pytest.raises(ValueError):
+        rto.update(-0.1)

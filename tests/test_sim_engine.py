@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(1.5, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator(seed=1)
+    order = []
+    for label in range(10):
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(1.0, order.append, "normal", priority=0)
+    sim.schedule(1.0, order.append, "urgent", priority=-1)
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator(seed=1)
+    seen = []
+    sim.schedule(0.5, lambda: seen.append(sim.now))
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.5, 2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=3.0)
+    assert fired == ["a"]
+    assert sim.now == 3.0
+    # The later event is still pending and fires if we resume.
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_events_at_exact_bound():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(3.0, fired.append, "edge")
+    sim.run(until=3.0)
+    assert fired == ["edge"]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator(seed=1)
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_via_simulator_helper_accepts_none():
+    sim = Simulator(seed=1)
+    sim.cancel(None)  # must not raise
+    handle = sim.schedule(1.0, lambda: None)
+    sim.cancel(handle)
+    sim.run()
+    assert sim.processed_events == 0
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator(seed=1)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_stop_halts_processing():
+    sim = Simulator(seed=1)
+    fired = []
+
+    def stopper():
+        fired.append("stopper")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, fired.append, "never")
+    sim.run()
+    assert fired == ["stopper"]
+    assert sim.pending_events == 1
+
+
+def test_max_events_limits_processing():
+    sim = Simulator(seed=1)
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_non_callable_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule(1.0, "not callable")
+
+
+def test_processed_event_counter():
+    sim = Simulator(seed=1)
+    for i in range(7):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed_events == 7
+
+
+def test_run_with_empty_heap_advances_to_until():
+    sim = Simulator(seed=1)
+    sim.run(until=4.2)
+    assert sim.now == 4.2
+
+
+def test_kwargs_are_passed_to_callbacks():
+    sim = Simulator(seed=1)
+    received = {}
+
+    def callback(a, b=None):
+        received["a"] = a
+        received["b"] = b
+
+    sim.schedule(1.0, callback, 1, b="two")
+    sim.run()
+    assert received == {"a": 1, "b": "two"}

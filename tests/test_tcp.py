@@ -1,0 +1,233 @@
+"""Tests for TCP Reno sender and sink.
+
+Unit-level tests drive the sender with hand-crafted ACK packets on a stub
+node (no network); the end-to-end behaviour over a real wireless hop is
+covered in the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.transport.tcp_base import TCP_HEADER_KEY, TcpConfig, TcpHeader
+from repro.transport.tcp_reno import TcpRenoSender
+from repro.transport.tcp_sink import TcpSink
+
+
+class StubNode:
+    """Node stand-in that records transport sends instead of routing them."""
+
+    def __init__(self, sim, node_id):
+        self.sim = sim
+        self.node_id = node_id
+        self.transport_agents = {}
+        self.applications = []
+        self.sent = []
+
+    def add_transport_agent(self, port, agent):
+        self.transport_agents[port] = agent
+
+    def add_application(self, app):
+        self.applications.append(app)
+
+    def transport_send(self, packet):
+        self.sent.append(packet)
+
+
+def make_sender(sim=None, **config_overrides):
+    sim = sim or Simulator(seed=1)
+    node = StubNode(sim, 0)
+    config = TcpConfig(**config_overrides)
+    sender = TcpRenoSender(sim, node, local_port=10, dst=1, dst_port=20,
+                           config=config)
+    return sim, node, sender
+
+
+def ack_packet(ackno, ts_echo=0.0):
+    packet = Packet(kind=PacketKind.TCP_ACK, src=1, dst=0, size=40,
+                    src_port=20, dst_port=10)
+    packet.set_header(TCP_HEADER_KEY,
+                      TcpHeader(ackno=ackno, ts_echo=ts_echo, is_ack=True))
+    return packet
+
+
+class TestTcpRenoSender:
+    def test_initial_window_sends_one_segment(self):
+        sim, node, sender = make_sender()
+        sender.start()
+        assert len(node.sent) == 1
+        header = node.sent[0].get_header(TCP_HEADER_KEY)
+        assert header.seqno == 0
+        assert node.sent[0].kind == PacketKind.TCP
+
+    def test_slow_start_doubles_window_per_rtt(self):
+        sim, node, sender = make_sender()
+        sender.start()
+        sender.receive(ack_packet(0))
+        assert sender.cwnd == pytest.approx(2.0)
+        # Two more segments (1 and 2) should now be in flight.
+        seqnos = [p.get_header(TCP_HEADER_KEY).seqno for p in node.sent]
+        assert seqnos == [0, 1, 2]
+
+    def test_congestion_avoidance_growth_is_linear(self):
+        sim, node, sender = make_sender(initial_ssthresh=2)
+        sender.start()
+        sender.receive(ack_packet(0))
+        sender.receive(ack_packet(1))
+        cwnd_before = sender.cwnd
+        sender.receive(ack_packet(2))
+        assert sender.cwnd == pytest.approx(cwnd_before + 1.0 / cwnd_before)
+
+    def test_cwnd_capped_by_window(self):
+        sim, node, sender = make_sender(window=4)
+        sender.start()
+        for ackno in range(0, 12):
+            sender.receive(ack_packet(ackno))
+        assert sender.unacked_segments <= 4
+
+    def test_fast_retransmit_after_three_dupacks(self):
+        sim, node, sender = make_sender(initial_ssthresh=64)
+        sender.start()
+        for ackno in range(0, 6):
+            sender.receive(ack_packet(ackno))
+        sent_before = len(node.sent)
+        cwnd_before = sender.cwnd
+        for _ in range(3):
+            sender.receive(ack_packet(5))  # duplicates of the last ACK
+        assert sender.fast_retransmits == 1
+        assert sender.in_fast_recovery
+        assert sender.ssthresh == pytest.approx(max(cwnd_before / 2, 2.0))
+        retransmitted = node.sent[sent_before].get_header(TCP_HEADER_KEY)
+        assert retransmitted.seqno == 6
+        assert retransmitted.is_retransmission
+
+    def test_recovery_exits_on_new_ack(self):
+        sim, node, sender = make_sender(initial_ssthresh=64)
+        sender.start()
+        for ackno in range(0, 6):
+            sender.receive(ack_packet(ackno))
+        for _ in range(3):
+            sender.receive(ack_packet(5))
+        ssthresh = sender.ssthresh
+        sender.receive(ack_packet(8))
+        assert not sender.in_fast_recovery
+        assert sender.cwnd == pytest.approx(ssthresh)
+
+    def test_retransmission_timeout_collapses_window(self):
+        sim, node, sender = make_sender(min_rto=0.1, initial_rto=0.2)
+        sender.start()
+        sender.receive(ack_packet(0))
+        sim.run(until=5.0)  # no further ACKs: the RTO must fire
+        assert sender.timeouts >= 1
+        assert sender.cwnd == pytest.approx(1.0)
+        retx = [p for p in node.sent
+                if p.get_header(TCP_HEADER_KEY).is_retransmission]
+        assert retx, "timeout must retransmit the missing segment"
+        assert retx[0].get_header(TCP_HEADER_KEY).seqno == 1
+
+    def test_rtt_sample_ignored_for_retransmitted_segment(self):
+        sim, node, sender = make_sender(min_rto=0.1, initial_rto=0.2)
+        sender.start()
+        sim.run(until=1.0)  # force a timeout and retransmission of seq 0
+        assert sender.retransmissions >= 1
+        samples_before = sender.rto.samples
+        sender.receive(ack_packet(0, ts_echo=0.01))
+        assert sender.rto.samples == samples_before  # Karn's rule
+
+    def test_send_bytes_limits_backlog(self):
+        sim, node, sender = make_sender(packet_size=1000)
+        sender.send_bytes(2500)  # 3 segments
+        for ackno in range(0, 3):
+            sender.receive(ack_packet(ackno))
+        assert len(node.sent) == 3
+        assert sender.unacked_segments == 0
+
+    def test_stale_acks_are_ignored(self):
+        sim, node, sender = make_sender()
+        sender.start()
+        sender.receive(ack_packet(0))
+        sender.receive(ack_packet(1))
+        state = (sender.cwnd, sender.dupacks, sender.highest_ack)
+        sender.receive(ack_packet(0))  # below the cumulative point
+        assert (sender.cwnd, sender.dupacks, sender.highest_ack) == state
+
+
+class TestTcpSink:
+    def make_sink(self):
+        sim = Simulator(seed=2)
+        node = StubNode(sim, 1)
+        sink = TcpSink(sim, node, local_port=20)
+        return sim, node, sink
+
+    def data_packet(self, seqno, ts=0.0):
+        packet = Packet(kind=PacketKind.TCP, src=0, dst=1, size=1040,
+                        src_port=10, dst_port=20, timestamp=ts)
+        packet.set_header(TCP_HEADER_KEY, TcpHeader(seqno=seqno, ts=ts))
+        return packet
+
+    def test_in_order_data_produces_cumulative_acks(self):
+        sim, node, sink = self.make_sink()
+        for seqno in range(3):
+            sink.receive(self.data_packet(seqno))
+        acks = [p.get_header(TCP_HEADER_KEY).ackno for p in node.sent]
+        assert acks == [0, 1, 2]
+        assert sink.cumulative_seq == 2
+
+    def test_out_of_order_data_generates_duplicate_acks(self):
+        sim, node, sink = self.make_sink()
+        sink.receive(self.data_packet(0))
+        sink.receive(self.data_packet(2))  # gap at seq 1
+        sink.receive(self.data_packet(3))
+        acks = [p.get_header(TCP_HEADER_KEY).ackno for p in node.sent]
+        assert acks == [0, 0, 0]
+        sink.receive(self.data_packet(1))  # gap filled
+        assert node.sent[-1].get_header(TCP_HEADER_KEY).ackno == 3
+
+    def test_duplicate_segments_counted(self):
+        sim, node, sink = self.make_sink()
+        sink.receive(self.data_packet(0))
+        sink.receive(self.data_packet(0))
+        assert sink.duplicate_segments == 1
+        assert sink.segments_received == 2
+
+    def test_ack_echoes_timestamp(self):
+        sim, node, sink = self.make_sink()
+        sink.receive(self.data_packet(0, ts=1.25))
+        assert node.sent[0].get_header(TCP_HEADER_KEY).ts_echo == 1.25
+
+    def test_delay_statistics(self):
+        sim, node, sink = self.make_sink()
+        sim.schedule(2.0, lambda: sink.receive(self.data_packet(0, ts=1.5)))
+        sim.run()
+        assert sink.mean_delay() == pytest.approx(0.5)
+
+    def test_delayed_ack_mode_acks_every_other_segment(self):
+        sim = Simulator(seed=3)
+        node = StubNode(sim, 1)
+        sink = TcpSink(sim, node, local_port=20,
+                       config=TcpConfig(delayed_ack=True,
+                                        delayed_ack_timeout=0.2))
+        sink.receive(self.data_packet(0))
+        assert node.sent == []  # first segment: ACK withheld
+        sink.receive(self.data_packet(1))
+        assert len(node.sent) == 1  # second segment: cumulative ACK
+        sink.receive(self.data_packet(2))
+        sim.run(until=1.0)  # delayed-ACK timer must flush the pending ACK
+        assert len(node.sent) == 2
+
+
+class TestTcpConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpConfig(packet_size=0)
+        with pytest.raises(ValueError):
+            TcpConfig(window=0)
+        with pytest.raises(ValueError):
+            TcpConfig(initial_cwnd=0)
+        with pytest.raises(ValueError):
+            TcpConfig(dupack_threshold=0)
+
+    def test_segment_size(self):
+        assert TcpConfig(packet_size=1000, header_size=40).segment_size == 1040

@@ -1,0 +1,49 @@
+"""Unit tests for the trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceLog
+
+
+def _populate(trace: TraceLog) -> None:
+    trace.log(0.1, "mac_tx", node=1, packet_uid=10, packet_kind="tcp")
+    trace.log(0.2, "mac_rx", node=2, packet_uid=10, packet_kind="tcp", sender=1)
+    trace.log(0.3, "mac_tx", node=2, packet_uid=11, packet_kind="rreq")
+    trace.log(0.4, "ifq_drop", node=3, packet_uid=12, packet_kind="tcp")
+
+
+def test_len_and_iteration():
+    trace = TraceLog()
+    _populate(trace)
+    assert len(trace) == 4
+    assert [rec.event for rec in trace] == ["mac_tx", "mac_rx", "mac_tx",
+                                            "ifq_drop"]
+
+
+def test_filter_by_event_node_kind():
+    trace = TraceLog()
+    _populate(trace)
+    assert len(trace.filter(event="mac_tx")) == 2
+    assert len(trace.filter(node=2)) == 2
+    assert len(trace.filter(kind="tcp")) == 3
+    assert len(trace.filter(event="mac_tx", kind="rreq")) == 1
+
+
+def test_filter_with_predicate():
+    trace = TraceLog()
+    _populate(trace)
+    late = trace.filter(predicate=lambda rec: rec.time > 0.25)
+    assert [rec.event for rec in late] == ["mac_tx", "ifq_drop"]
+
+
+def test_counts_by_event():
+    trace = TraceLog()
+    _populate(trace)
+    assert trace.counts_by_event() == {"mac_tx": 2, "mac_rx": 1, "ifq_drop": 1}
+
+
+def test_info_fields_are_preserved():
+    trace = TraceLog()
+    _populate(trace)
+    rx = trace.filter(event="mac_rx")[0]
+    assert rx.info == {"sender": 1}
