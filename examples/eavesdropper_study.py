@@ -8,29 +8,32 @@ MTS with the *same* eavesdropper placement and compares what the attacker
 obtained, both for the random placement and for the worst-case placement
 (the busiest relay).
 
+The (protocol × seed) grid is a batch of independent simulations, so it
+runs on a pluggable executor: ``--workers N`` fans it out over N worker
+processes and ``--cache DIR`` reuses previously simulated cells.
+
 Usage::
 
     python examples/eavesdropper_study.py [--speed 10] [--sim-time 40]
                                           [--seeds 3] [--paper-scale]
+                                          [--workers 4] [--cache DIR]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.scenario import ScenarioConfig, run_scenario
+from repro.exec import add_executor_options, executor_from_args
+from repro.scenario import ScenarioConfig
 
 
-def run_for_protocol(protocol: str, speed: float, sim_time: float,
-                     seed: int, paper_scale: bool):
+def config_for(protocol: str, speed: float, sim_time: float,
+               seed: int, paper_scale: bool) -> ScenarioConfig:
     if paper_scale:
-        config = ScenarioConfig.paper_default(protocol=protocol,
-                                              max_speed=speed, seed=seed)
-    else:
-        config = ScenarioConfig.paper_default(protocol=protocol,
-                                              max_speed=speed, seed=seed,
-                                              sim_time=sim_time)
-    return run_scenario(config)
+        return ScenarioConfig.paper_default(protocol=protocol,
+                                            max_speed=speed, seed=seed)
+    return ScenarioConfig.paper_default(protocol=protocol, max_speed=speed,
+                                        seed=seed, sim_time=sim_time)
 
 
 def main() -> None:
@@ -40,27 +43,39 @@ def main() -> None:
     parser.add_argument("--seeds", type=int, default=3,
                         help="number of independent seeds to average over")
     parser.add_argument("--paper-scale", action="store_true")
+    add_executor_options(parser)
     args = parser.parse_args()
 
+    executor = executor_from_args(args)
+
     protocols = ["DSR", "AODV", "MTS"]
+    grid = [(seed, protocol) for seed in range(1, args.seeds + 1)
+            for protocol in protocols]
+    configs = [config_for(protocol, args.speed, args.sim_time, seed,
+                          args.paper_scale) for seed, protocol in grid]
+
     print(f"Passive eavesdropper study | speed {args.speed} m/s | "
-          f"{args.seeds} seed(s)\n")
+          f"{args.seeds} seed(s) | {type(executor).__name__}\n")
     header = (f"{'protocol':>9} {'seed':>5} {'Pe':>6} {'Pr':>6} "
               f"{'intercept':>10} {'worst-case':>11} {'particip.':>10} "
               f"{'relay-std':>10}")
     print(header)
+
+    def print_row(index, config, result):
+        # Fires as each run completes (completion order under a parallel
+        # executor), so long paper-scale studies show live progress.
+        seed, protocol = grid[index]
+        print(f"{protocol:>9} {seed:>5} {result.packets_eavesdropped:>6} "
+              f"{result.packets_received:>6} "
+              f"{result.interception_ratio:>10.3f} "
+              f"{result.highest_interception_ratio:>11.3f} "
+              f"{result.participating_nodes:>10} "
+              f"{result.relay_std:>10.4f}", flush=True)
+
+    results = executor.run(configs, progress=print_row)
     summary = {protocol: [] for protocol in protocols}
-    for seed in range(1, args.seeds + 1):
-        for protocol in protocols:
-            result = run_for_protocol(protocol, args.speed, args.sim_time,
-                                      seed, args.paper_scale)
-            print(f"{protocol:>9} {seed:>5} {result.packets_eavesdropped:>6} "
-                  f"{result.packets_received:>6} "
-                  f"{result.interception_ratio:>10.3f} "
-                  f"{result.highest_interception_ratio:>11.3f} "
-                  f"{result.participating_nodes:>10} "
-                  f"{result.relay_std:>10.4f}")
-            summary[protocol].append(result)
+    for (seed, protocol), result in zip(grid, results):
+        summary[protocol].append(result)
     print("\nAverages over seeds:")
     for protocol in protocols:
         results = summary[protocol]

@@ -8,12 +8,15 @@ Usage::
 
     python examples/quickstart.py [--protocol MTS] [--speed 10] [--seed 1]
                                   [--sim-time 30] [--paper-scale]
+                                  [--cache DIR] [--json PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 
+from repro.exec import ResultCache
 from repro.scenario import ScenarioConfig, run_scenario
 
 
@@ -29,6 +32,11 @@ def main() -> None:
                         help="simulated seconds (paper uses 200)")
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's full 200 s / 50 node setup")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="result-cache directory: re-running the same "
+                             "configuration loads the result from disk")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full result as JSON")
     args = parser.parse_args()
 
     if args.paper_scale:
@@ -44,7 +52,10 @@ def main() -> None:
     print(f"Running {config.protocol} | {config.n_nodes} nodes | "
           f"{config.field_size[0]:.0f}x{config.field_size[1]:.0f} m | "
           f"max speed {config.max_speed} m/s | {config.sim_time:.0f} s ...")
-    result = run_scenario(config)
+    cache = ResultCache(args.cache) if args.cache else None
+    result = run_scenario(config, cache=cache)
+    if cache is not None and cache.hits:
+        print("(loaded from cache)")
 
     flow_src, flow_dst = result.flows[0]
     print()
@@ -62,6 +73,9 @@ def main() -> None:
     print(f"  control overhead (Fig 11)    : {result.control_overhead} packets "
           f"{dict(result.control_by_kind)}")
     print(f"  simulator events processed   : {result.events_processed}")
+    if args.json:
+        pathlib.Path(args.json).write_text(result.to_json(), encoding="utf-8")
+        print(f"\nFull result written to {args.json}")
 
 
 if __name__ == "__main__":

@@ -11,9 +11,17 @@ normalisation walkthrough.  Three profiles are available:
 * ``--profile paper`` — the full §IV-A grid (200 s × 5 reps × 5 speeds
   × 3 protocols); expect several hours of wall-clock time.
 
+Execution is pluggable: ``--workers N`` fans the independent grid cells
+out over N worker processes (results are bit-for-bit identical to the
+serial run), ``--cache DIR`` reuses previously simulated cells from an
+on-disk result cache (so regenerating figures after an interrupted or
+repeated run only simulates what is missing), and ``--save-json PATH``
+writes the whole sweep as a durable JSON artifact.
+
 Usage::
 
-    python examples/reproduce_figures.py --profile bench
+    python examples/reproduce_figures.py --profile bench --workers 4 \
+        --cache results/cache
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import argparse
 import sys
 import time
 
+from repro.exec import add_executor_options, executor_from_args
 from repro.experiments import (
     FIGURES,
     SweepSettings,
@@ -49,9 +58,14 @@ def main() -> None:
                         choices=["smoke", "bench", "paper"])
     parser.add_argument("--skip-table1", action="store_true",
                         help="skip the Table I walkthrough run")
+    add_executor_options(parser)
+    parser.add_argument("--save-json", metavar="PATH", default=None,
+                        help="write the full sweep (settings + every run) "
+                             "to PATH as JSON")
     args = parser.parse_args()
 
     settings = build_settings(args.profile)
+    executor = executor_from_args(args)
     total_runs = (len(settings.protocols) * len(settings.speeds)
                   * settings.replications)
     print(f"Profile {args.profile}: {len(settings.protocols)} protocols × "
@@ -71,7 +85,15 @@ def main() -> None:
               f"delay={result.mean_delay * 1000:6.1f} ms "
               f"({elapsed:6.1f} s elapsed)", flush=True)
 
-    sweep = run_speed_sweep(settings, progress=progress)
+    sweep = run_speed_sweep(settings, progress=progress, executor=executor)
+
+    if executor.cache is not None:
+        print(f"\ncache: {executor.cache.hits} hit(s), "
+              f"{executor.simulations_run} simulation(s) executed, "
+              f"{len(executor.cache)} entr(ies) in {executor.cache.root}")
+    if args.save_json:
+        sweep.save(args.save_json)
+        print(f"sweep written to {args.save_json}")
 
     print("\n" + "=" * 72)
     for figure_id in sorted(FIGURES):
@@ -89,7 +111,7 @@ def main() -> None:
             sim_time=settings.config_overrides.get("sim_time", 30.0),
             seed=5,
         )
-        normalization, _ = run_table1(table_config)
+        normalization, _ = run_table1(table_config, executor=executor)
         print()
         print(format_table1(normalization))
 

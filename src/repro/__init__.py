@@ -12,7 +12,9 @@ The package contains two layers:
   (:mod:`repro.routing`), the passive-eavesdropper security model
   (:mod:`repro.security`), the paper's metrics (:mod:`repro.metrics`),
   and the experiment harness (:mod:`repro.scenario`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`) with its execution subsystem
+  (:mod:`repro.exec` — serial/parallel executors plus an on-disk
+  result cache).
 
 Quickstart
 ----------
@@ -29,6 +31,12 @@ from repro.version import __version__
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.runner import run_scenario, run_replications
 from repro.scenario.builder import ScenarioBuilder, Scenario
+from repro.exec import (
+    Executor,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+)
 
 __all__ = [
     "__version__",
@@ -37,4 +45,8 @@ __all__ = [
     "Scenario",
     "run_scenario",
     "run_replications",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
 ]

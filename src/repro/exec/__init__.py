@@ -1,0 +1,53 @@
+"""Experiment execution subsystem: executors + on-disk result cache.
+
+This package is the seam between "what to simulate" (the
+:mod:`repro.scenario` and :mod:`repro.experiments` layers) and "how to
+run it".  Everything that executes scenario grids — sweeps, figures,
+ablations, Table I, the example scripts — routes through an
+:class:`~repro.exec.executor.Executor`:
+
+* :class:`~repro.exec.executor.SerialExecutor` — in-process, one run at a
+  time (the default, and the historical behaviour).
+* :class:`~repro.exec.executor.ParallelExecutor` — process-pool fan-out
+  with deterministic, submission-ordered results; bit-for-bit identical
+  to the serial path.
+* :class:`~repro.exec.cache.ResultCache` — content-addressed on-disk
+  cache keyed by a stable hash of the config, so repeated sweeps only
+  simulate cells that changed.
+
+Quick usage::
+
+    from repro.exec import ParallelExecutor, ResultCache
+    from repro.experiments import SweepSettings, run_speed_sweep
+
+    executor = ParallelExecutor(cache=ResultCache("results/cache"))
+    sweep = run_speed_sweep(SweepSettings.bench(), executor=executor)
+"""
+
+from repro.exec.cache import CACHE_FORMAT_VERSION, ResultCache, config_key
+from repro.exec.executor import (
+    ExecutionError,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    add_executor_options,
+    build_executor,
+    executor_from_args,
+    resolve_executor,
+    simulate,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ExecutionError",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "add_executor_options",
+    "build_executor",
+    "config_key",
+    "executor_from_args",
+    "resolve_executor",
+    "simulate",
+]

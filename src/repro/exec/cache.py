@@ -1,0 +1,155 @@
+"""Content-addressed on-disk result cache.
+
+A :class:`ResultCache` stores one JSON file per completed simulation,
+keyed by a stable SHA-256 hash of the scenario configuration.  Re-running
+a sweep, a figure, or an ablation therefore only pays for the cells whose
+configuration actually changed; everything else is reloaded from disk.
+
+Key properties
+--------------
+* **Content-addressed.**  The key is derived from the canonical JSON form
+  of the config (sorted keys, compact separators), so two structurally
+  identical configs always map to the same entry regardless of how they
+  were constructed.  The ``trace`` flag is excluded from the key because
+  tracing changes what is logged, never what is measured.
+* **Durable artifact.**  Each entry stores both the config and the full
+  :class:`~repro.scenario.results.ScenarioResult`, so a cache directory
+  doubles as a self-describing archive of every simulation ever run.
+* **Crash/concurrency safe.**  Entries are written to a unique temporary
+  file and atomically renamed into place; corrupt or stale entries are
+  treated as misses, never as errors.
+* **Version-guarded.**  Each entry records the ``repro`` package version
+  that produced it; entries from another version are misses.  Any change
+  that alters simulation behaviour must therefore bump
+  ``repro.version.__version__`` — that is what keeps a long-lived cache
+  directory from silently serving pre-change results as current.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import ScenarioResult
+from repro.version import __version__
+
+#: Bump when the on-disk entry layout changes; older entries become misses.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_key(config: ScenarioConfig) -> str:
+    """Stable SHA-256 hex digest identifying ``config``'s simulation.
+
+    The ``trace`` flag is dropped before hashing: it only controls
+    logging, so traced and untraced runs of the same scenario share a
+    cache entry.
+    """
+    payload = config.to_dict()
+    payload.pop("trace", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk cache mapping :class:`ScenarioConfig` to :class:`ScenarioResult`.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache; created (with parents) if missing.
+        Entries live under two-character shard subdirectories
+        (``<root>/ab/abcdef....json``) to keep directories small even for
+        very large grids.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ValueError(
+                f"cache root {str(self.root)!r} exists and is not a "
+                f"directory") from exc
+        #: Number of successful lookups since this object was created.
+        self.hits: int = 0
+        #: Number of failed lookups (absent or unreadable entries).
+        self.misses: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def path_for(self, config: ScenarioConfig) -> Path:
+        """The on-disk path that does (or would) hold ``config``'s result."""
+        return self._entry_path(config_key(config))
+
+    def __contains__(self, config: ScenarioConfig) -> bool:
+        return self.path_for(config).is_file()
+
+    def _entry_files(self) -> Iterator[Path]:
+        return self.root.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    # ------------------------------------------------------------------ #
+    def get(self, config: ScenarioConfig) -> Optional[ScenarioResult]:
+        """The cached result for ``config``, or ``None`` on a miss.
+
+        Unreadable, corrupt, or format-incompatible entries count as
+        misses; they are overwritten by the next :meth:`put`.
+        """
+        path = self.path_for(config)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                raise ValueError("incompatible cache entry version")
+            if payload.get("repro_version") != __version__:
+                raise ValueError("entry from a different simulator version")
+            result = ScenarioResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config: ScenarioConfig, result: ScenarioResult) -> Path:
+        """Store ``result`` for ``config``; returns the entry path.
+
+        The write is atomic (temp file + ``os.replace``), so concurrent
+        writers — e.g. two parallel sweeps sharing a cache directory —
+        can only race to write identical content.
+        """
+        key = config_key(config)
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "repro_version": __version__,
+            "key": key,
+            "config": config.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for entry in list(self._entry_files()):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

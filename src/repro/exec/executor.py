@@ -1,0 +1,288 @@
+"""Executors: map scenario configurations to results, serially or in parallel.
+
+An :class:`Executor` turns a sequence of
+:class:`~repro.scenario.config.ScenarioConfig` objects into the matching
+sequence of :class:`~repro.scenario.results.ScenarioResult` objects.  Two
+implementations are provided:
+
+* :class:`SerialExecutor` — runs every simulation in-process, one after
+  the other (the historical behaviour of the experiment harness).
+* :class:`ParallelExecutor` — fans simulations out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Configurations and
+  results cross the process boundary as JSON (via ``to_json`` /
+  ``from_json``), and results are reassembled in submission order, so a
+  parallel run is **bit-for-bit identical** to a serial run of the same
+  configs — each simulation is deterministic given its seed and runs in
+  its own fresh process.
+
+Both executors accept an optional
+:class:`~repro.exec.cache.ResultCache`; cached configurations are served
+from disk and only the remainder is simulated.  ``Executor.run`` preserves
+input order regardless of cache hits or completion order, which is what
+makes sweep output independent of the execution strategy.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import multiprocessing
+import os
+import sys
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import ScenarioResult
+
+#: Signature of the per-run progress callback: ``(index, config, result)``
+#: where ``index`` is the position in the submitted config sequence.
+ProgressCallback = Callable[[int, ScenarioConfig, ScenarioResult], None]
+
+
+def simulate(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one scenario (the unit of work executors schedule)."""
+    return ScenarioBuilder(config).build().run()
+
+
+# ---------------------------------------------------------------------- #
+# worker-process entry points (must be module-level so they pickle by name)
+# ---------------------------------------------------------------------- #
+def _worker_init(src_root: str) -> None:
+    """Make the ``repro`` package importable in spawned worker processes.
+
+    Under the default ``fork`` start method this is a no-op; under
+    ``spawn``/``forkserver`` the child re-imports this module, which
+    requires the source root on ``sys.path`` even when the parent set it
+    up via ``sys.path`` manipulation rather than ``PYTHONPATH``.
+    """
+    if src_root not in sys.path:
+        sys.path.insert(0, src_root)
+
+
+def _run_serialized(config_json: str) -> str:
+    """Run one scenario from its JSON config; return the JSON result."""
+    config = ScenarioConfig.from_json(config_json)
+    return simulate(config).to_json()
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an executor fails to produce a result for every config."""
+
+
+class Executor(abc.ABC):
+    """Maps scenario configs to results, optionally through a result cache.
+
+    Subclasses implement :meth:`_execute`; :meth:`run` layers cache
+    lookups, cache writes, progress reporting, and order restoration on
+    top, so every execution strategy shares identical caching semantics.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`ResultCache` (or a path, which is wrapped in
+        one).  Configs with a cached result are not simulated at all.
+    """
+
+    def __init__(self, cache: Optional[Union[ResultCache, str, os.PathLike]] = None):
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        #: Number of simulations actually executed (cache hits excluded).
+        self.simulations_run: int = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self, configs: Sequence[ScenarioConfig],
+            progress: Optional[ProgressCallback] = None,
+            ) -> List[ScenarioResult]:
+        """Execute ``configs`` and return their results **in input order**.
+
+        Parameters
+        ----------
+        configs:
+            The scenario configurations to run.
+        progress:
+            Optional callback ``progress(index, config, result)`` invoked
+            once per config as its result becomes available (immediately
+            for cache hits, on completion otherwise).  Invocation order
+            follows completion, not submission; the returned list is
+            always in submission order.
+        """
+        configs = list(configs)
+        results: List[Optional[ScenarioResult]] = [None] * len(configs)
+        pending: List[int] = []
+        for index, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                if progress is not None:
+                    progress(index, config, cached)
+            else:
+                pending.append(index)
+
+        if pending:
+            def report(position: int, result: ScenarioResult) -> None:
+                index = pending[position]
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(configs[index], result)
+                if progress is not None:
+                    progress(index, configs[index], result)
+
+            self._execute([configs[index] for index in pending], report)
+            self.simulations_run += len(pending)
+
+        missing = [index for index, result in enumerate(results)
+                   if result is None]
+        if missing:
+            raise ExecutionError(
+                f"executor produced no result for configs at {missing}")
+        return results  # type: ignore[return-value]
+
+    def run_one(self, config: ScenarioConfig) -> ScenarioResult:
+        """Convenience wrapper: run a single configuration."""
+        return self.run([config])[0]
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _execute(self, configs: Sequence[ScenarioConfig],
+                 report: Callable[[int, ScenarioResult], None]) -> None:
+        """Run every config, calling ``report(position, result)`` for each.
+
+        ``position`` indexes into ``configs`` (not the caller's original
+        sequence); ``report`` may be called in any order but must be
+        called exactly once per config.
+        """
+
+
+class SerialExecutor(Executor):
+    """Run every simulation in-process, in order (the historical path)."""
+
+    def _execute(self, configs: Sequence[ScenarioConfig],
+                 report: Callable[[int, ScenarioResult], None]) -> None:
+        for position, config in enumerate(configs):
+            report(position, simulate(config))
+
+
+class ParallelExecutor(Executor):
+    """Fan simulations out across a pool of worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.  The pool is sized
+        down to the number of submitted configs, so small batches never
+        pay for idle workers.
+    cache:
+        Optional result cache (see :class:`Executor`).
+    mp_context:
+        Start-method name (``"fork"``/``"spawn"``/``"forkserver"``) or a
+        :mod:`multiprocessing` context; ``None`` uses the platform
+        default.
+
+    Determinism: every simulation derives all randomness from its config
+    seed and runs in a fresh scenario object, so results do not depend on
+    which worker ran them or in what order they finished.  ``run``
+    reassembles results in submission order, making parallel output
+    bit-for-bit identical to :class:`SerialExecutor`.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
+                 mp_context: Union[str, multiprocessing.context.BaseContext,
+                                   None] = None):
+        super().__init__(cache)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+
+    def _execute(self, configs: Sequence[ScenarioConfig],
+                 report: Callable[[int, ScenarioResult], None]) -> None:
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        workers = min(self.max_workers, len(configs))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._mp_context,
+                initializer=_worker_init, initargs=(src_root,)) as pool:
+            futures = {pool.submit(_run_serialized, config.to_json()): position
+                       for position, config in enumerate(configs)}
+            for future in concurrent.futures.as_completed(futures):
+                report(futures[future],
+                       ScenarioResult.from_json(future.result()))
+
+
+def resolve_executor(executor: Optional[Executor] = None,
+                     cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
+                     ) -> Executor:
+    """Normalise the ``(executor, cache)`` arguments the harness accepts.
+
+    ``None`` yields a fresh :class:`SerialExecutor` (with ``cache``
+    attached if given) — the historical serial behaviour.  Passing both
+    attaches the cache to a cache-less executor; repeating the call with
+    the same cache (or the same cache *directory*) is a no-op, but a
+    *conflicting* pair (the executor already has a cache rooted
+    elsewhere) is an error rather than a silent replacement.
+    """
+    if executor is None:
+        return SerialExecutor(cache=cache)
+    if cache is not None:
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        if executor.cache is None:
+            executor.cache = cache
+        elif executor.cache.root.resolve() != cache.root.resolve():
+            raise ValueError(
+                "executor already has a cache rooted elsewhere; pass "
+                "the cache on the executor or via cache=, not both")
+    return executor
+
+
+def build_executor(workers: int = 1,
+                   cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
+                   ) -> Executor:
+    """Construct an executor from CLI-style knobs.
+
+    ``workers``: ``0`` means one worker per CPU core, ``1`` the serial
+    in-process executor, ``N > 1`` a parallel pool of N processes.
+    ``cache`` may be a :class:`ResultCache` or a directory path.  This is
+    the one place the example scripts and benchmarks translate their
+    ``--workers`` / ``--cache`` options into an executor.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers > 1:
+        return ParallelExecutor(max_workers=workers, cache=cache)
+    return SerialExecutor(cache=cache)
+
+
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        import argparse
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def add_executor_options(parser) -> None:
+    """Add the standard ``--workers`` / ``--cache`` options to ``parser``.
+
+    The single definition all example scripts share; pair with
+    :func:`executor_from_args`.
+    """
+    parser.add_argument("--workers", type=_workers_arg, default=1,
+                        help="worker processes for the simulation runs "
+                             "(1 = serial, 0 = one per CPU core)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="result-cache directory; repeated runs only "
+                             "simulate configurations not cached yet")
+
+
+def executor_from_args(args) -> Executor:
+    """Build an executor from options added by :func:`add_executor_options`."""
+    return build_executor(args.workers, args.cache)

@@ -14,11 +14,11 @@ Two sweeps quantify the design choices the paper fixes by fiat:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.exec import Executor, ResultCache, resolve_executor
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
-from repro.scenario.runner import run_scenario
 
 
 def _base_config(**overrides) -> ScenarioConfig:
@@ -30,35 +30,41 @@ def _base_config(**overrides) -> ScenarioConfig:
 
 def run_check_interval_ablation(intervals: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 6.0),
                                 config: Optional[ScenarioConfig] = None,
+                                executor: Optional[Executor] = None,
+                                cache: Optional[ResultCache] = None,
                                 ) -> Dict[float, ScenarioResult]:
     """Sweep the MTS route-checking interval.
 
     Returns a mapping ``interval -> ScenarioResult``; the interesting
     columns are ``control_overhead`` (rises as the interval shrinks) and
-    the security metrics (improve as the interval shrinks).
+    the security metrics (improve as the interval shrinks).  The knob
+    values are independent runs, so ``executor``/``cache`` (see
+    :mod:`repro.exec`) parallelise and memoise them.
     """
     base = config or _base_config()
-    results: Dict[float, ScenarioResult] = {}
-    for interval in intervals:
+    knobs = [float(interval) for interval in intervals]
+    for interval in knobs:
         if interval <= 0:
             raise ValueError("check interval must be positive")
-        run_config = base.replace(mts_check_interval=float(interval))
-        results[float(interval)] = run_scenario(run_config)
-    return results
+    configs = [base.replace(mts_check_interval=interval) for interval in knobs]
+    results = resolve_executor(executor, cache).run(configs)
+    return dict(zip(knobs, results))
 
 
 def run_max_paths_ablation(max_paths_values: Sequence[int] = (1, 2, 3, 5),
                            config: Optional[ScenarioConfig] = None,
+                           executor: Optional[Executor] = None,
+                           cache: Optional[ResultCache] = None,
                            ) -> Dict[int, ScenarioResult]:
     """Sweep the cap on disjoint paths stored at the destination."""
     base = config or _base_config()
-    results: Dict[int, ScenarioResult] = {}
-    for max_paths in max_paths_values:
+    knobs = [int(max_paths) for max_paths in max_paths_values]
+    for max_paths in knobs:
         if max_paths < 1:
             raise ValueError("max_paths must be at least 1")
-        run_config = base.replace(mts_max_paths=int(max_paths))
-        results[int(max_paths)] = run_scenario(run_config)
-    return results
+    configs = [base.replace(mts_max_paths=max_paths) for max_paths in knobs]
+    results = resolve_executor(executor, cache).run(configs)
+    return dict(zip(knobs, results))
 
 
 def format_ablation(results: Dict, knob_name: str,

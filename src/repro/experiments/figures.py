@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro.exec import Executor, ResultCache
 from repro.experiments.sweep import SweepResult, SweepSettings, run_speed_sweep
 
 
@@ -149,10 +150,17 @@ def format_figure(sweep: SweepResult, figure_id: str) -> str:
 
 
 def run_figure(figure_id: str, settings: Optional[SweepSettings] = None,
-               sweep: Optional[SweepResult] = None) -> Dict[str, List[float]]:
-    """Run (or reuse) a sweep and return the figure's per-protocol series."""
+               sweep: Optional[SweepResult] = None,
+               executor: Optional[Executor] = None,
+               cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
+    """Run (or reuse) a sweep and return the figure's per-protocol series.
+
+    ``executor``/``cache`` (see :mod:`repro.exec`) are forwarded to
+    :func:`run_speed_sweep` when no existing ``sweep`` is supplied; with a
+    shared cache, regenerating every figure costs one sweep in total.
+    """
     if figure_id not in FIGURES:
         raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
     if sweep is None:
-        sweep = run_speed_sweep(settings)
+        sweep = run_speed_sweep(settings, executor=executor, cache=cache)
     return figure_series(sweep, figure_id)

@@ -6,6 +6,14 @@ the same runs for each figure.  :func:`run_speed_sweep` reproduces that
 grid; every figure module then extracts its own metric from the shared
 :class:`SweepResult` so the expensive simulations are run only once.
 
+The grid cells are independent simulations, so the sweep routes through
+the :mod:`repro.exec` subsystem: pass ``executor=ParallelExecutor(...)``
+to fan cells out across cores (results are bit-for-bit identical to the
+serial path) and/or ``cache=ResultCache(...)`` so re-running a sweep only
+simulates cells whose configuration changed.  :meth:`SweepResult.to_json`
+/ :meth:`SweepResult.save` make the whole grid a durable artifact that
+figures can be re-rendered from without re-simulating anything.
+
 Two ready-made profiles are provided:
 
 * ``SweepSettings.paper()`` — the full §IV-A configuration (50 nodes,
@@ -19,11 +27,14 @@ Two ready-made profiles are provided:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.scenario.config import ScenarioConfig
+from repro.exec import Executor, ResultCache, resolve_executor
+from repro.scenario.config import ScenarioConfig, normalize_config_fields
 from repro.scenario.results import AggregateResult, ScenarioResult, aggregate_results
-from repro.scenario.runner import run_scenario
 
 #: The protocols the paper compares.
 PAPER_PROTOCOLS = ("DSR", "AODV", "MTS")
@@ -84,6 +95,51 @@ class SweepSettings:
         return ScenarioConfig(protocol=protocol, max_speed=speed, seed=seed,
                               **self.config_overrides)
 
+    def grid(self) -> List[Tuple[str, float, int]]:
+        """All ``(protocol, speed, replication)`` cells in canonical order.
+
+        The order (protocol-major, then speed, then replication) is the
+        contract that makes sweep results independent of the execution
+        strategy: executors return results in submission order.
+        """
+        return [(protocol, float(speed), replication)
+                for protocol in self.protocols
+                for speed in self.speeds
+                for replication in range(self.replications)]
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary of the grid definition."""
+        return {
+            "protocols": list(self.protocols),
+            "speeds": [float(speed) for speed in self.speeds],
+            "replications": self.replications,
+            "base_seed": self.base_seed,
+            "config_overrides": normalize_config_fields(self.config_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSettings":
+        """Rebuild settings from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            protocols=tuple(data["protocols"]),
+            speeds=tuple(float(speed) for speed in data["speeds"]),
+            replications=int(data["replications"]),
+            base_seed=int(data["base_seed"]),
+            config_overrides=normalize_config_fields(data["config_overrides"]),
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepSettings":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
 
 @dataclasses.dataclass
 class SweepResult:
@@ -119,9 +175,58 @@ class SweepResult:
             out.append(row)
         return out
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary: settings plus every cell's results."""
+        cells = []
+        for (protocol, speed), aggregate in sorted(self.aggregates.items()):
+            cells.append({
+                "protocol": protocol,
+                "speed": speed,
+                "aggregate": aggregate.to_dict(),
+                "runs": [run.to_dict()
+                         for run in self.runs[(protocol, speed)]],
+            })
+        return {"settings": self.settings.to_dict(), "cells": cells}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_dict` output."""
+        settings = SweepSettings.from_dict(data["settings"])
+        aggregates: Dict[Tuple[str, float], AggregateResult] = {}
+        runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
+        for cell in data["cells"]:
+            key = (cell["protocol"], float(cell["speed"]))
+            aggregates[key] = AggregateResult.from_dict(cell["aggregate"])
+            runs[key] = [ScenarioResult.from_dict(run)
+                         for run in cell["runs"]]
+        return cls(settings=settings, aggregates=aggregates, runs=runs)
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the sweep (settings + every run) to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "SweepResult":
+        """Reload a sweep previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
 
 def run_speed_sweep(settings: Optional[SweepSettings] = None,
-                    progress: Optional[callable] = None) -> SweepResult:
+                    progress: Optional[callable] = None,
+                    executor: Optional[Executor] = None,
+                    cache: Optional[ResultCache] = None) -> SweepResult:
     """Run the full (protocol × speed × replication) grid.
 
     Parameters
@@ -131,21 +236,36 @@ def run_speed_sweep(settings: Optional[SweepSettings] = None,
     progress:
         Optional callback ``progress(protocol, speed, replication, result)``
         invoked after every completed run (used by the example scripts to
-        print live status).
+        print live status).  With a parallel executor the callback fires
+        in completion order; the returned :class:`SweepResult` is always
+        assembled in canonical grid order.
+    executor:
+        Execution strategy (see :mod:`repro.exec`); defaults to a fresh
+        :class:`~repro.exec.SerialExecutor`.  A
+        :class:`~repro.exec.ParallelExecutor` produces bit-for-bit
+        identical results while fanning cells out across cores.
+    cache:
+        Optional :class:`~repro.exec.ResultCache`; cells with a cached
+        result are loaded from disk instead of simulated.
     """
     settings = settings or SweepSettings.bench()
-    aggregates: Dict[Tuple[str, float], AggregateResult] = {}
+    runner = resolve_executor(executor, cache)
+    grid = settings.grid()
+    configs = [settings.cell_config(protocol, speed, replication)
+               for protocol, speed, replication in grid]
+
+    executor_progress = None
+    if progress is not None:
+        def executor_progress(index: int, config: ScenarioConfig,
+                              result: ScenarioResult) -> None:
+            protocol, speed, replication = grid[index]
+            progress(protocol, speed, replication, result)
+
+    results = runner.run(configs, progress=executor_progress)
+
     runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
-    for protocol in settings.protocols:
-        for speed in settings.speeds:
-            cell_results: List[ScenarioResult] = []
-            for replication in range(settings.replications):
-                config = settings.cell_config(protocol, speed, replication)
-                result = run_scenario(config)
-                cell_results.append(result)
-                if progress is not None:
-                    progress(protocol, speed, replication, result)
-            key = (protocol, float(speed))
-            runs[key] = cell_results
-            aggregates[key] = aggregate_results(cell_results)
+    for (protocol, speed, _replication), result in zip(grid, results):
+        runs.setdefault((protocol, speed), []).append(result)
+    aggregates = {key: aggregate_results(cell_results)
+                  for key, cell_results in runs.items()}
     return SweepResult(settings=settings, aggregates=aggregates, runs=runs)

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.exec import Executor, ResultCache, resolve_executor
 from repro.metrics.relay import RelayNormalization, normalize_relay_counts
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
-from repro.scenario.runner import run_scenario
 
 
 def run_table1(config: Optional[ScenarioConfig] = None,
+               executor: Optional[Executor] = None,
+               cache: Optional[ResultCache] = None,
                ) -> Tuple[RelayNormalization, ScenarioResult]:
     """Run one DSR scenario and compute the Table I normalisation.
 
@@ -27,6 +29,10 @@ def run_table1(config: Optional[ScenarioConfig] = None,
         Scenario to run; defaults to a scaled-down DSR scenario.  The
         paper's own table is one 200 s DSR run at paper scale
         (``ScenarioConfig.paper_default(protocol="DSR")``).
+    executor / cache:
+        Optional execution strategy and result cache (see
+        :mod:`repro.exec`); with a cache the walkthrough is free when the
+        same scenario was already simulated.
     """
     if config is None:
         config = ScenarioConfig(protocol="DSR", n_nodes=50,
@@ -34,7 +40,7 @@ def run_table1(config: Optional[ScenarioConfig] = None,
                                 sim_time=30.0, seed=5)
     if config.protocol != "DSR":
         raise ValueError("Table I is defined for a DSR scenario")
-    result = run_scenario(config)
+    result = resolve_executor(executor, cache).run_one(config)
     normalization = normalize_relay_counts(result.relay_counts)
     return normalization, result
 

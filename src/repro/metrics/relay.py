@@ -55,7 +55,11 @@ def normalize_relay_counts(relay_counts: Mapping[int, int],
     """Compute α, γ_i and σ from raw per-node relay counts.
 
     Nodes with zero relays are excluded (they are not "participating").
-    An empty input yields an all-zero result.
+    An empty input yields an all-zero result.  Nodes are processed in
+    sorted id order, so the floating-point result is independent of the
+    mapping's insertion order — a freshly simulated result and the same
+    result after a JSON round trip (which string-sorts the keys) produce
+    identical σ down to the last bit.
 
     Parameters
     ----------
@@ -66,7 +70,8 @@ def normalize_relay_counts(relay_counts: Mapping[int, int],
         deviation (``ddof=1``); pass ``ddof=1`` to reproduce the table's
         number exactly.
     """
-    beta = {node: int(count) for node, count in relay_counts.items() if count > 0}
+    beta = {node: int(relay_counts[node]) for node in sorted(relay_counts)
+            if relay_counts[node] > 0}
     alpha = sum(beta.values())
     if alpha == 0 or not beta:
         return RelayNormalization(beta={}, alpha=0, gamma={}, std=0.0)

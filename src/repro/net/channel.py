@@ -8,12 +8,24 @@ interfaces decide locally whether overlapping receptions collide — this is
 the standard receiver-side collision model, which also captures hidden
 terminals because carrier sensing happens at the *sender* while collisions
 happen at the *receiver*.
+
+Scalability: instead of scanning all N interfaces on every transmission,
+the channel maintains a uniform spatial grid over node positions that is
+rebuilt lazily.  The grid cell size is the detection range plus a slack
+margin; the grid stays valid until some node could have moved farther
+than the slack, so rebuilds are amortised over many transmissions.  A
+transmission then only visits interfaces in the sender's grid cell and
+the eight adjacent cells — a superset of everything within detection
+range, by construction.  Exact positions and distances are still
+evaluated per candidate at the current time, and candidates are visited
+in registration order, so the event schedule (and therefore every
+simulation result) is bit-for-bit identical to the historical full scan.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.propagation import PropagationModel, RangePropagation
 
@@ -33,24 +45,50 @@ class WirelessChannel:
     propagation:
         The propagation model; defaults to a deterministic 250 m disc,
         matching the paper's configuration.
+    max_node_speed:
+        Upper bound on any node's speed in m/s, used to decide how long
+        the spatial index stays valid.  The default (50 m/s, far above
+        the paper's 20 m/s maximum) is always safe for the mobility
+        models in this package; the scenario builder passes the
+        configured maximum speed for a tighter bound.
     """
 
+    #: Slack margin added to the grid cell size, as a fraction of the
+    #: detection range.  The grid is rebuilt once nodes could have moved
+    #: farther than this margin, so a larger value trades bigger candidate
+    #: sets for rarer rebuilds.
+    _GRID_SLACK_FRACTION = 0.5
+
     def __init__(self, sim: "Simulator",
-                 propagation: Optional[PropagationModel] = None):
+                 propagation: Optional[PropagationModel] = None,
+                 max_node_speed: float = 50.0):
         self.sim = sim
         self.propagation = propagation or RangePropagation(250.0)
+        if max_node_speed < 0:
+            raise ValueError("max_node_speed must be non-negative")
+        self.max_node_speed = float(max_node_speed)
         self._interfaces: List["WirelessInterface"] = []
+        self._interface_index: Dict["WirelessInterface", int] = {}
         #: Count of frame transmissions put on the air (all kinds).
         self.transmissions: int = 0
+        #: Count of spatial-index rebuilds (instrumentation).
+        self.grid_rebuilds: int = 0
+        # Spatial index state (see _ensure_grid).
+        self._grid: Dict[Tuple[int, int], List[int]] = {}
+        self._grid_time: Optional[float] = None
+        self._grid_horizon: float = 0.0
+        self._grid_cell_size: float = 1.0
 
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #
     def register(self, interface: "WirelessInterface") -> None:
         """Attach an interface to the channel."""
-        if interface in self._interfaces:
+        if interface in self._interface_index:
             raise ValueError("interface already registered")
+        self._interface_index[interface] = len(self._interfaces)
         self._interfaces.append(interface)
+        self._grid_time = None  # invalidate the spatial index
 
     @property
     def interfaces(self) -> Iterable["WirelessInterface"]:
@@ -66,19 +104,76 @@ class WirelessChannel:
         dy = pos_a[1] - pos_b[1]
         return math.hypot(dx, dy)
 
+    # ------------------------------------------------------------------ #
+    # spatial index
+    # ------------------------------------------------------------------ #
+    def _reach(self) -> float:
+        """The farthest distance at which a transmission has any effect."""
+        return max(self.propagation.detection_range(),
+                   self.propagation.nominal_range())
+
+    def _ensure_grid(self, now: float) -> None:
+        """(Re)build the uniform grid if it is absent or too stale.
+
+        The cell size is the maximum signal reach plus a slack margin;
+        every interface stays within slack metres of its indexed position
+        until ``_grid_horizon``, so until then the 3×3 cell block around
+        a point is guaranteed to contain every interface currently within
+        reach of it.  Rebuild cost is O(N), amortised over the horizon.
+        """
+        if self._grid_time is not None and now <= self._grid_horizon:
+            return
+        reach = self._reach()
+        slack = max(reach * self._GRID_SLACK_FRACTION, 1e-9)
+        cell = reach + slack
+        self._grid_cell_size = cell
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        for index, interface in enumerate(self._interfaces):
+            x, y = interface.node.position(now)
+            grid.setdefault((int(x // cell), int(y // cell)), []).append(index)
+        self._grid = grid
+        self._grid_time = now
+        if self.max_node_speed > 0:
+            self._grid_horizon = now + slack / self.max_node_speed
+        else:
+            self._grid_horizon = math.inf
+        self.grid_rebuilds += 1
+
+    def _candidate_indices(self, pos: Tuple[float, float]) -> List[int]:
+        """Indices of interfaces in the 3×3 cell block around ``pos``.
+
+        A superset of every interface within reach of ``pos`` (see
+        :meth:`_ensure_grid`); callers re-check exact distances.  Sorted
+        by registration index so iteration (and hence event insertion)
+        order matches the historical full scan exactly.
+        """
+        cell = self._grid_cell_size
+        cx = int(pos[0] // cell)
+        cy = int(pos[1] // cell)
+        out: List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                out.extend(self._grid.get((cx + dx, cy + dy), ()))
+        out.sort()
+        return out
+
     def neighbors_of(self, interface: "WirelessInterface") -> List["WirelessInterface"]:
         """Interfaces currently within decode range of ``interface``.
 
-        Used by tests and by topology inspection tools; the transmit path
-        below recomputes positions itself so it never goes through this
-        convenience wrapper.
+        Used by tests and by topology inspection tools.  Answered from
+        the same spatial grid the transmit path uses (with exact
+        per-candidate distances), so the two can never disagree about who
+        is reachable.
         """
         now = self.sim.now
+        self._ensure_grid(now)
+        my_index = self._interface_index[interface]
         my_pos = interface.node.position(now)
         out = []
-        for other in self._interfaces:
-            if other is interface:
+        for index in self._candidate_indices(my_pos):
+            if index == my_index:
                 continue
+            other = self._interfaces[index]
             d = self.distance(my_pos, other.node.position(now))
             if self.propagation.in_range(d):
                 out.append(other)
@@ -98,14 +193,17 @@ class WirelessChannel:
         """
         now = self.sim.now
         self.transmissions += 1
+        self._ensure_grid(now)
+        sender_index = self._interface_index[sender]
         sender_pos = sender.node.position(now)
         rng = self.sim.rng("propagation")
-        decode_limit = self.propagation.detection_range()
-        for receiver in self._interfaces:
-            if receiver is sender:
+        detect_limit = self.propagation.detection_range()
+        for index in self._candidate_indices(sender_pos):
+            if index == sender_index:
                 continue
+            receiver = self._interfaces[index]
             d = self.distance(sender_pos, receiver.node.position(now))
-            if d > decode_limit:
+            if d > detect_limit:
                 continue
             decodable = self.propagation.in_range(d, rng)
             delay = self.propagation.delay(d)

@@ -136,7 +136,8 @@ class ScenarioBuilder:
         config = self.config
         sim = Simulator(seed=config.seed, trace=config.trace)
         propagation = RangePropagation(config.transmission_range)
-        channel = WirelessChannel(sim, propagation)
+        channel = WirelessChannel(sim, propagation,
+                                  max_node_speed=config.max_speed)
         mac_params = MacParams(data_rate=config.data_rate,
                                basic_rate=config.basic_rate,
                                retry_limit=config.mac_retry_limit,

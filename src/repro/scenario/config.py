@@ -12,13 +12,33 @@ as the benchmark default.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
 
 #: Routing protocols the scenario builder knows how to instantiate.
 SUPPORTED_PROTOCOLS = ("MTS", "DSR", "AODV", "AOMDV")
 
 #: Mobility models the scenario builder knows how to instantiate.
 SUPPORTED_MOBILITY = ("random_waypoint", "random_walk", "static")
+
+
+def normalize_config_fields(data: Mapping[str, object]) -> Dict[str, object]:
+    """Restore tuple-typed :class:`ScenarioConfig` fields after a JSON trip.
+
+    JSON has no tuples, so ``field_size``, ``flows`` and
+    ``static_positions`` come back as lists.  Every consumer of
+    config-shaped dictionaries (:meth:`ScenarioConfig.from_dict`, sweep
+    ``config_overrides``) shares this one normaliser so new tuple-typed
+    fields only need registering here.
+    """
+    out = dict(data)
+    if "field_size" in out:
+        out["field_size"] = tuple(out["field_size"])
+    if out.get("flows") is not None:
+        out["flows"] = [tuple(flow) for flow in out["flows"]]
+    if out.get("static_positions") is not None:
+        out["static_positions"] = [tuple(p) for p in out["static_positions"]]
+    return out
 
 
 @dataclasses.dataclass
@@ -155,3 +175,38 @@ class ScenarioConfig:
     def replace(self, **overrides) -> "ScenarioConfig":
         """Return a copy of this config with ``overrides`` applied."""
         return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary of every field.
+
+        Tuples are normalised to lists so the output is identical whether
+        it is inspected directly or round-tripped through JSON.
+        """
+        data = dataclasses.asdict(self)
+        data["field_size"] = list(self.field_size)
+        if self.flows is not None:
+            data["flows"] = [list(flow) for flow in self.flows]
+        if self.static_positions is not None:
+            data["static_positions"] = [list(p) for p in self.static_positions]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output (or parsed JSON)."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ScenarioConfig fields: {unknown}")
+        return cls(**normalize_config_fields(data))
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))

@@ -9,8 +9,9 @@ matching the paper's "each simulation is repeated 5 times" methodology.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 #: Numeric fields that :func:`aggregate_results` averages.
@@ -83,6 +84,41 @@ class ScenarioResult:
             "packets_received": self.packets_received,
         }
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary of *every* field (not just headlines).
+
+        ``relay_counts`` keys become strings (JSON object keys always are)
+        and tuples become lists; :meth:`from_dict` reverses both, so
+        ``ScenarioResult.from_json(r.to_json()) == r`` holds exactly —
+        Python's JSON float round-trip is lossless.
+        """
+        data = dataclasses.asdict(self)
+        data["flows"] = [list(flow) for flow in self.flows]
+        data["relay_counts"] = {str(node): int(count)
+                                for node, count in self.relay_counts.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        kwargs = dict(data)
+        kwargs["flows"] = [tuple(flow) for flow in kwargs["flows"]]
+        kwargs["relay_counts"] = {int(node): int(count) for node, count
+                                  in kwargs["relay_counts"].items()}
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
 
 @dataclasses.dataclass
 class AggregateResult:
@@ -108,6 +144,40 @@ class AggregateResult:
             row[key] = value
             row[f"{key}_std"] = self.std[key]
         return row
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary of every field."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AggregateResult":
+        """Rebuild an aggregate from :meth:`to_dict` output.
+
+        Metric dictionaries are restored in canonical
+        :data:`AGGREGATED_FIELDS` order (JSON object order is not
+        preserved through sorted-key serialisation), so round-tripped
+        aggregates are indistinguishable from freshly computed ones.
+        """
+        kwargs = dict(data)
+        for name in ("mean", "std"):
+            metrics = dict(kwargs[name])
+            ordered = {field: metrics.pop(field)
+                       for field in AGGREGATED_FIELDS if field in metrics}
+            ordered.update(sorted(metrics.items()))
+            kwargs[name] = ordered
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AggregateResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
 
 
 def _mean_std(values: Sequence[float]) -> Tuple[float, float]:

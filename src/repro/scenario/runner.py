@@ -4,11 +4,17 @@
 same configuration under several independent seeds and aggregates the
 results, mirroring the paper's "each simulation is run for 200 seconds and
 repeated 5 times" methodology.
+
+Both entry points optionally route through the :mod:`repro.exec`
+subsystem: pass an ``executor`` to choose the execution strategy (serial
+in-process vs. a process pool) and/or a ``cache`` to reuse previously
+computed results.  With neither argument the behaviour is the historical
+direct in-process run.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.scenario.builder import Scenario, ScenarioBuilder
 from repro.scenario.config import ScenarioConfig
@@ -18,19 +24,39 @@ from repro.scenario.results import (
     aggregate_results,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import Executor, ResultCache
+
 
 def build_scenario(config: ScenarioConfig) -> Scenario:
     """Construct (but do not run) the scenario described by ``config``."""
     return ScenarioBuilder(config).build()
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario; return its measured metrics."""
-    return build_scenario(config).run()
+def run_scenario(config: ScenarioConfig,
+                 executor: Optional["Executor"] = None,
+                 cache: Optional["ResultCache"] = None) -> ScenarioResult:
+    """Build and run one scenario; return its measured metrics.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    executor / cache:
+        Optional execution strategy and result cache (see
+        :mod:`repro.exec`).  Omitting both runs directly in-process.
+    """
+    if executor is None and cache is None:
+        return build_scenario(config).run()
+    # Imported lazily: repro.exec itself imports the scenario layer.
+    from repro.exec import resolve_executor
+    return resolve_executor(executor, cache).run_one(config)
 
 
 def run_replications(config: ScenarioConfig, replications: int = 5,
                      seeds: Optional[Sequence[int]] = None,
+                     executor: Optional["Executor"] = None,
+                     cache: Optional["ResultCache"] = None,
                      ) -> tuple[AggregateResult, List[ScenarioResult]]:
     """Run ``replications`` independent copies of ``config`` and aggregate.
 
@@ -45,6 +71,10 @@ def run_replications(config: ScenarioConfig, replications: int = 5,
         Explicit seeds, one per replication.  When omitted, seeds are
         derived deterministically from ``config.seed`` so the whole batch
         is reproducible.
+    executor / cache:
+        Optional execution strategy and result cache (see
+        :mod:`repro.exec`).  Replications are independent, so a parallel
+        executor runs them concurrently with identical results.
 
     Returns
     -------
@@ -57,8 +87,10 @@ def run_replications(config: ScenarioConfig, replications: int = 5,
         seeds = [config.seed + 1000 * index for index in range(replications)]
     elif len(seeds) != replications:
         raise ValueError("len(seeds) must equal the number of replications")
-    results: List[ScenarioResult] = []
-    for seed in seeds:
-        run_config = config.replace(seed=int(seed))
-        results.append(run_scenario(run_config))
+    configs = [config.replace(seed=int(seed)) for seed in seeds]
+    if executor is None and cache is None:
+        results = [run_scenario(run_config) for run_config in configs]
+    else:
+        from repro.exec import resolve_executor
+        results = resolve_executor(executor, cache).run(configs)
     return aggregate_results(results), results

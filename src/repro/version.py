@@ -1,3 +1,6 @@
 """Single source of truth for the package version."""
 
-__version__ = "1.0.0"
+#: Cached simulation results are keyed to this version (see
+#: :mod:`repro.exec.cache`): bump it in any PR that changes simulation
+#: behaviour so stale cache entries become misses.
+__version__ = "1.1.0"

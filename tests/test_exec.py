@@ -1,0 +1,225 @@
+"""Tests for the execution subsystem (executors, cache, serialization).
+
+The two properties the subsystem promises:
+
+* **Determinism** — a parallel sweep is bit-for-bit identical to a serial
+  sweep of the same settings.
+* **Cache round trip** — a second invocation of the same sweep against
+  the same cache performs zero simulations and yields identical results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    build_executor,
+    config_key,
+    resolve_executor,
+)
+from repro.experiments.sweep import SweepResult, SweepSettings, run_speed_sweep
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import (
+    AggregateResult,
+    ScenarioResult,
+    aggregate_results,
+)
+from repro.scenario.runner import run_replications, run_scenario
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    params = dict(protocol="MTS", n_nodes=10, field_size=(500.0, 500.0),
+                  max_speed=5.0, sim_time=4.0, seed=3)
+    params.update(overrides)
+    return ScenarioConfig(**params)
+
+
+@pytest.fixture(scope="module")
+def tiny_result() -> ScenarioResult:
+    """One completed simulation shared by the serialization tests."""
+    return run_scenario(tiny_config())
+
+
+@pytest.fixture(scope="module")
+def smoke_serial() -> SweepResult:
+    """The smoke-grid sweep on the serial executor (the reference)."""
+    return run_speed_sweep(SweepSettings.smoke())
+
+
+class TestSerialization:
+    def test_config_json_round_trip(self):
+        config = tiny_config(flows=[(0, 5)], mts_max_paths=3)
+        assert ScenarioConfig.from_json(config.to_json()) == config
+
+    def test_config_round_trip_with_static_positions(self):
+        config = ScenarioConfig(protocol="AODV", n_nodes=3,
+                                mobility_model="static",
+                                static_positions=[(0.0, 0.0), (100.0, 0.0),
+                                                  (200.0, 0.0)],
+                                flows=[(0, 2)], sim_time=2.0)
+        restored = ScenarioConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.static_positions[0] == (0.0, 0.0)
+
+    def test_config_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ScenarioConfig.from_dict({"protocol": "MTS", "warp_speed": 9})
+
+    def test_result_json_round_trip_is_exact(self, tiny_result):
+        restored = ScenarioResult.from_json(tiny_result.to_json())
+        assert restored == tiny_result
+        assert all(isinstance(node, int)
+                   for node in restored.relay_counts)
+        assert all(isinstance(flow, tuple) for flow in restored.flows)
+
+    def test_aggregate_json_round_trip_is_exact(self, tiny_result):
+        aggregate = aggregate_results([tiny_result])
+        restored = AggregateResult.from_json(aggregate.to_json())
+        assert restored == aggregate
+        # Canonical metric order survives the sorted-key JSON round trip.
+        assert list(restored.mean) == list(aggregate.mean)
+
+    def test_sweep_json_round_trip_is_exact(self, smoke_serial):
+        restored = SweepResult.from_json(smoke_serial.to_json())
+        assert restored.settings == smoke_serial.settings
+        assert restored.runs == smoke_serial.runs
+        assert json.dumps(restored.rows()) == json.dumps(smoke_serial.rows())
+
+    def test_sweep_save_load(self, smoke_serial, tmp_path):
+        path = tmp_path / "sweep.json"
+        smoke_serial.save(path)
+        assert SweepResult.load(path).rows() == smoke_serial.rows()
+
+    def test_config_key_is_stable_and_ignores_trace(self):
+        config = tiny_config()
+        assert config_key(config) == config_key(tiny_config())
+        assert config_key(config) == config_key(config.replace(trace=True))
+        assert config_key(config) != config_key(config.replace(seed=4))
+
+
+class TestExecutors:
+    def test_serial_executor_matches_direct_runs(self):
+        configs = [tiny_config(seed=1), tiny_config(seed=2)]
+        executor = SerialExecutor()
+        results = executor.run(configs)
+        assert executor.simulations_run == 2
+        assert [r.seed for r in results] == [1, 2]
+        assert results[0] == run_scenario(configs[0])
+
+    def test_progress_callback_sees_every_run(self):
+        seen = []
+        SerialExecutor().run([tiny_config(seed=1), tiny_config(seed=2)],
+                             progress=lambda i, c, r: seen.append((i, c.seed)))
+        assert sorted(seen) == [(0, 1), (1, 2)]
+
+    def test_parallel_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+
+    def test_resolve_executor_defaults_to_serial(self, tmp_path):
+        executor = resolve_executor(None, None)
+        assert isinstance(executor, SerialExecutor)
+        assert executor.cache is None
+        cached = resolve_executor(None, ResultCache(tmp_path))
+        assert cached.cache is not None
+
+    def test_resolve_executor_rejects_conflicting_caches(self, tmp_path):
+        executor = SerialExecutor(cache=ResultCache(tmp_path / "a"))
+        with pytest.raises(ValueError, match="rooted elsewhere"):
+            resolve_executor(executor, ResultCache(tmp_path / "b"))
+        # Same cache object, a distinct cache with the same root (e.g. the
+        # same path string passed twice), or a cache-less executor: all fine.
+        assert resolve_executor(executor, executor.cache) is executor
+        assert resolve_executor(executor, ResultCache(tmp_path / "a")) is executor
+        assert resolve_executor(executor, str(tmp_path / "a")) is executor
+        bare = SerialExecutor()
+        assert resolve_executor(bare, ResultCache(tmp_path / "c")) is bare
+        assert bare.cache is not None
+
+    def test_build_executor_factory(self, tmp_path):
+        assert isinstance(build_executor(1), SerialExecutor)
+        parallel = build_executor(3, tmp_path / "cache")
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.max_workers == 3
+        assert isinstance(parallel.cache, ResultCache)
+        # 0 = one worker per core; on a single-core box that is serial.
+        auto = build_executor(0)
+        assert isinstance(auto, (SerialExecutor, ParallelExecutor))
+        with pytest.raises(ValueError):
+            build_executor(-1)
+
+    def test_parallel_sweep_identical_to_serial(self, smoke_serial):
+        """ISSUE requirement: ParallelExecutor and SerialExecutor produce
+        identical SweepResult.rows() for SweepSettings.smoke()."""
+        parallel = run_speed_sweep(SweepSettings.smoke(),
+                                   executor=ParallelExecutor(max_workers=2))
+        assert (json.dumps(parallel.rows())
+                == json.dumps(smoke_serial.rows()))
+        # Identical beyond the aggregates: every individual run matches.
+        assert parallel.runs == smoke_serial.runs
+
+    def test_run_replications_accepts_executor(self):
+        aggregate, results = run_replications(tiny_config(), replications=2,
+                                              executor=SerialExecutor())
+        assert aggregate.replications == 2
+        assert len(results) == 2
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        assert cache.get(config) is None
+        cache.put(config, tiny_result)
+        assert config in cache
+        assert cache.get(config) == tiny_result
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        path = cache.put(config, tiny_result)
+        path.write_text("not json at all")
+        assert cache.get(config) is None
+        # A fresh put repairs the entry.
+        cache.put(config, tiny_result)
+        assert cache.get(config) == tiny_result
+
+    def test_clear_removes_entries(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        cache.put(tiny_config(), tiny_result)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_second_sweep_invocation_runs_zero_simulations(
+            self, tmp_path, smoke_serial):
+        """ISSUE requirement: a repeated sweep against the same cache is
+        served entirely from disk."""
+        cache = ResultCache(tmp_path / "cache")
+        first = SerialExecutor(cache=cache)
+        warmed = run_speed_sweep(SweepSettings.smoke(), executor=first)
+        assert first.simulations_run == len(SweepSettings.smoke().grid())
+
+        second = SerialExecutor(cache=cache)
+        replayed = run_speed_sweep(SweepSettings.smoke(), executor=second)
+        assert second.simulations_run == 0
+        assert cache.hits == len(SweepSettings.smoke().grid())
+        assert json.dumps(replayed.rows()) == json.dumps(warmed.rows())
+        assert json.dumps(replayed.rows()) == json.dumps(smoke_serial.rows())
+
+    def test_cache_shared_between_scenario_and_sweep_layers(self, tmp_path):
+        """A single cell simulated via run_scenario is reused by the sweep."""
+        settings = SweepSettings.smoke()
+        cache = ResultCache(tmp_path / "cache")
+        protocol, speed, replication = settings.grid()[0]
+        run_scenario(settings.cell_config(protocol, speed, replication),
+                     cache=cache)
+        executor = SerialExecutor(cache=cache)
+        run_speed_sweep(settings, executor=executor)
+        assert executor.simulations_run == len(settings.grid()) - 1

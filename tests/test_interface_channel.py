@@ -38,8 +38,8 @@ class RecordingMac:
         self.completed.append(packet)
 
 
-def build(sim, positions, range_m=250.0):
-    channel = WirelessChannel(sim, RangePropagation(range_m))
+def build(sim, positions, range_m=250.0, propagation=None):
+    channel = WirelessChannel(sim, propagation or RangePropagation(range_m))
     nodes, macs = [], []
     for node_id, (x, y) in enumerate(positions):
         node = Node(sim, node_id, mobility=StaticMobility(x, y))
@@ -152,6 +152,89 @@ def test_neighbors_of_reports_current_range():
     channel, nodes, macs = build(sim, [(0, 0), (100, 0), (600, 0)])
     neighbors = channel.neighbors_of(nodes[0].interface)
     assert [iface.node.node_id for iface in neighbors] == [1]
+
+
+def test_sense_only_interface_gets_carrier_busy_but_no_frame():
+    """Regression: between decode range and detection range a node senses
+    energy (carrier busy, then a collision drop) but never decodes the
+    frame.  The transmit path used to misname the detection range as the
+    decode limit; this pins the intended semantics down."""
+    sim = Simulator(seed=1)
+    propagation = RangePropagation(250.0, carrier_sense_factor=2.0)
+    # Node 1 decodes (100 m); node 2 at 400 m is outside the 250 m decode
+    # range but inside the 500 m detection range: sense-only.
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (400, 0)],
+                                 propagation=propagation)
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert len(macs[1].received) == 1
+    assert macs[2].received == []
+    assert macs[2].busy_transitions == 1
+    assert macs[2].idle_transitions == 1
+    assert nodes[2].interface.frames_collided == 1
+
+
+def test_beyond_detection_range_senses_nothing():
+    sim = Simulator(seed=1)
+    propagation = RangePropagation(250.0, carrier_sense_factor=2.0)
+    channel, nodes, macs = build(sim, [(0, 0), (600, 0)],
+                                 propagation=propagation)
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert macs[1].received == []
+    assert macs[1].busy_transitions == 0
+    assert nodes[1].interface.frames_collided == 0
+
+
+def test_spatial_grid_delivers_across_cell_boundaries():
+    """The grid index must not miss receivers that sit in a neighbouring
+    cell, and must exclude nodes far outside the 3x3 block."""
+    sim = Simulator(seed=1)
+    # Cell size is 1.5x the 250 m range (375 m).  The sender at x=300
+    # (cell 0) and receiver at x=500 (cell 1) straddle a cell boundary at
+    # 200 m separation, well inside decode range: must be delivered.  The
+    # node at x=2000 (cell 5) is outside the 3x3 block entirely.
+    channel, nodes, macs = build(sim, [(300, 0), (500, 0), (2000, 0)])
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert len(macs[1].received) == 1
+    assert macs[2].received == []
+    assert channel.grid_rebuilds == 1
+
+
+def test_spatial_grid_tracks_moving_nodes():
+    """Once nodes could have moved farther than the slack margin the grid
+    is rebuilt, so neighbours keep matching current positions."""
+
+    class Teleport(StaticMobility):
+        """Piecewise-static mobility: jumps to ``later`` after 100 s."""
+
+        def __init__(self, x, y, later):
+            super().__init__(x, y)
+            self.later = later
+
+        def position(self, time):
+            return self.later if time >= 100.0 else super().position(time)
+
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim, RangePropagation(250.0), max_node_speed=50.0)
+    mobilities = [Teleport(0, 0, (5000, 0)), Teleport(100, 0, (5100, 0)),
+                  Teleport(3000, 0, (5200, 0))]
+    nodes = []
+    for node_id, mobility in enumerate(mobilities):
+        node = Node(sim, node_id, mobility=mobility)
+        node.interface = WirelessInterface(sim, node, channel)
+        node.interface.attach_mac(RecordingMac())
+        nodes.append(node)
+    # At t=0: nodes 0 and 1 are neighbours, node 2 is 3 km away.
+    assert channel.neighbors_of(nodes[0].interface) == [nodes[1].interface]
+    # Advance beyond every rebuild horizon, then teleport: all three now
+    # cluster around x=5000 and must see each other.
+    sim.schedule(150.0, lambda: None)
+    sim.run()
+    assert channel.neighbors_of(nodes[0].interface) == [nodes[1].interface,
+                                                        nodes[2].interface]
+    assert channel.grid_rebuilds >= 2
 
 
 def test_receiver_gets_independent_packet_copy():
