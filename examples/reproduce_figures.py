@@ -16,12 +16,15 @@ out over N worker processes (results are bit-for-bit identical to the
 serial run), ``--cache DIR`` reuses previously simulated cells from an
 on-disk result cache (so regenerating figures after an interrupted or
 repeated run only simulates what is missing), and ``--save-json PATH``
-writes the whole sweep as a durable JSON artifact.
+writes the whole sweep as a durable JSON artifact.  ``--from-artifact
+PATH`` re-renders everything from such an artifact with **zero**
+simulations (see also ``repro-sweep render``).
 
 Usage::
 
     python examples/reproduce_figures.py --profile bench --workers 4 \
-        --cache results/cache
+        --cache results/cache --save-json results/sweep.json
+    python examples/reproduce_figures.py --from-artifact results/sweep.json
 """
 
 from __future__ import annotations
@@ -33,9 +36,11 @@ import time
 from repro.exec import add_executor_options, executor_from_args
 from repro.experiments import (
     FIGURES,
+    SweepResult,
     SweepSettings,
     format_figure,
     format_table1,
+    render_figures,
     run_speed_sweep,
     run_table1,
 )
@@ -52,6 +57,26 @@ def build_settings(profile: str) -> SweepSettings:
     raise ValueError(f"unknown profile {profile!r}")
 
 
+def render_from_artifact(path: str) -> int:
+    """Re-render every figure (and Table I, if a DSR run is present) from
+    a saved sweep artifact, without simulating anything."""
+    sweep = SweepResult.load(path)
+    settings = sweep.settings
+    print(f"Artifact {path}: {len(settings.protocols)} protocols × "
+          f"{len(settings.speeds)} speeds × {settings.replications} "
+          f"replication(s); re-rendering without simulation\n")
+    print("=" * 72 + "\n")
+    print(render_figures(sweep))
+    dsr_runs = sweep.runs_for_protocol("DSR")
+    if dsr_runs:
+        print("\n" + "=" * 72 + "\n")
+        normalization, _ = run_table1(result=dsr_runs[0])
+        print(format_table1(normalization))
+    else:
+        print("\n(no DSR run in the artifact; Table I skipped)")
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="bench",
@@ -62,7 +87,13 @@ def main() -> None:
     parser.add_argument("--save-json", metavar="PATH", default=None,
                         help="write the full sweep (settings + every run) "
                              "to PATH as JSON")
+    parser.add_argument("--from-artifact", metavar="PATH", default=None,
+                        help="re-render figures from a sweep artifact "
+                             "written by --save-json (zero simulations)")
     args = parser.parse_args()
+
+    if args.from_artifact:
+        return render_from_artifact(args.from_artifact)
 
     settings = build_settings(args.profile)
     executor = executor_from_args(args)

@@ -1,0 +1,20 @@
+"""Command-line interfaces for the experiment-execution subsystem.
+
+Two console entry points (also runnable without installation as
+``python -m repro.cli <tool> …`` with ``PYTHONPATH=src``):
+
+* ``repro-cache`` (:mod:`repro.cli.cache`) — inspect and maintain
+  on-disk result caches: ``stats``, ``verify``, ``prune``, ``merge``
+  (combine per-shard cache roots), and ``gc`` (expire by age / shrink to
+  a byte budget).
+* ``repro-sweep`` (:mod:`repro.cli.sweep`) — run speed sweeps, including
+  one shard of a K-way split (``run --shard i/K``), merge shard
+  artifacts back into a full sweep (``merge``), and re-render figures
+  from a saved artifact with zero simulations (``render``).
+
+Both tools only print and exit; all behaviour lives in the library
+(:mod:`repro.exec`, :mod:`repro.experiments`) so it is equally usable
+from Python.
+"""
+
+__all__ = []

@@ -1,0 +1,26 @@
+"""Dispatcher: ``python -m repro.cli {cache,sweep} …``.
+
+Lets the CLIs run straight from a checkout (``PYTHONPATH=src``) without
+installing the console entry points declared in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import cache, sweep
+
+TOOLS = {"cache": cache.main, "sweep": sweep.main}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in TOOLS:
+        known = "|".join(sorted(TOOLS))
+        print(f"usage: python -m repro.cli {{{known}}} ...", file=sys.stderr)
+        return 2
+    return TOOLS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""``repro-sweep`` — run, shard, merge, and re-render speed sweeps.
+
+Subcommands::
+
+    repro-sweep run    [--profile P | --settings-json FILE] [--shard i/K]
+                       [--workers N] [--cache DIR] [--out PATH] [--quiet]
+    repro-sweep plan   [--profile P | --settings-json FILE] --shards K
+    repro-sweep merge  --out PATH SHARD [SHARD ...]
+    repro-sweep render ARTIFACT [--figure ID ...] [--table1]
+
+A sharded sweep across K machines looks like::
+
+    # on machine i (i = 0..K-1), with a per-shard cache root:
+    repro-sweep run --profile paper --shard $i/$K \\
+        --cache cache-$i --out shard-$i.json
+
+    # back on one machine:
+    repro-cache merge cache cache-0 ... cache-(K-1)
+    repro-sweep merge --out sweep.json shard-0.json ... shard-(K-1).json
+    repro-sweep render sweep.json
+
+Cells are assigned to shards by hashing their cache key, so every
+invocation computes the same plan without coordination, and the merged
+sweep is bit-for-bit identical to a serial single-process run.  All
+shards must be run with **identical settings and the same repro
+version** (behaviour-changing PRs bump ``repro.version.__version__``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.exec import (
+    SweepShard,
+    ShardSpec,
+    add_executor_options,
+    executor_from_args,
+    merge_shard_results,
+    plan_shards,
+    run_sweep_shard,
+)
+from repro.experiments import (
+    FIGURES,
+    SweepResult,
+    SweepSettings,
+    format_table1,
+    render_figures,
+    run_speed_sweep,
+    run_table1,
+)
+
+
+def _load_settings(args: argparse.Namespace) -> SweepSettings:
+    if args.settings_json:
+        payload = Path(args.settings_json).read_text(encoding="utf-8")
+        return SweepSettings.from_json(payload)
+    if args.profile == "paper":
+        return SweepSettings.paper()
+    if args.profile == "bench":
+        return SweepSettings.bench()
+    return SweepSettings.smoke()
+
+
+def _add_settings_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--profile", default="bench",
+                       choices=["smoke", "bench", "paper"],
+                       help="canned grid profile (default: bench)")
+    group.add_argument("--settings-json", metavar="FILE", default=None,
+                       help="load SweepSettings from a JSON file instead "
+                            "(share one file across all shards)")
+
+
+# ---------------------------------------------------------------------- #
+def cmd_run(args: argparse.Namespace) -> int:
+    settings = _load_settings(args)
+    shard = ShardSpec.parse(args.shard)
+    executor = executor_from_args(args)
+    plan = plan_shards(settings, shard.count)
+    planned = len(plan[shard.index])
+    print(f"shard {shard}: {planned} of {len(settings.grid())} grid "
+          f"cell(s)")
+
+    started = time.time()
+    progress = None
+    if not args.quiet:
+        completed = [0]
+
+        def progress(protocol, speed, replication, result):
+            completed[0] += 1
+            print(f"  [{completed[0]:>3}/{planned}] {protocol:<5} "
+                  f"speed={speed:<4g} rep={replication} "
+                  f"({time.time() - started:6.1f} s elapsed)", flush=True)
+
+    piece = run_sweep_shard(settings, shard=shard, progress=progress,
+                            executor=executor, plan=plan)
+    if executor.cache is not None:
+        print(f"cache: {executor.cache.hits} hit(s), "
+              f"{executor.simulations_run} simulation(s) executed")
+    if args.out:
+        if shard.count == 1:
+            merge_shard_results([piece]).save(args.out)
+            print(f"sweep result written to {args.out}")
+        else:
+            piece.save(args.out)
+            print(f"shard artifact written to {args.out}")
+    print(f"wall-clock: {time.time() - started:.1f} s")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    settings = _load_settings(args)
+    plans = plan_shards(settings, args.shards)
+    grid = settings.grid()
+    for index, mine in enumerate(plans):
+        cells = ", ".join(f"{p}@{s:g}m/s#{r}" for p, s, r
+                          in (grid[i] for i in mine)) or "(empty)"
+        print(f"shard {index}/{args.shards}: {len(mine)} cell(s): {cells}")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    shards = [SweepShard.load(path) for path in args.shards]
+    sweep = merge_shard_results(shards)
+    sweep.save(args.out)
+    cells = sum(len(piece.results) for piece in shards)
+    print(f"merged {len(shards)} shard(s) ({cells} cell(s)) "
+          f"into {args.out}")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    sweep = SweepResult.load(args.artifact)
+    print(render_figures(sweep, args.figures or None))
+    if args.table1:
+        dsr_runs = sweep.runs_for_protocol("DSR")
+        if not dsr_runs:
+            print("\n(no DSR run in the artifact; Table I skipped)",
+                  file=sys.stderr)
+            return 1
+        normalization, _ = run_table1(result=dsr_runs[0])
+        print()
+        print(format_table1(normalization))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run, shard, merge, and re-render speed sweeps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the grid, or one shard of it")
+    _add_settings_options(run)
+    run.add_argument("--shard", default="0/1", metavar="i/K",
+                     help="run shard i of a K-way split (0-based; "
+                          "default 0/1 = the whole grid)")
+    add_executor_options(run)
+    run.add_argument("--out", metavar="PATH", default=None,
+                     help="write the artifact here: a full SweepResult "
+                          "for 0/1, a mergeable shard artifact otherwise")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-cell progress lines")
+    run.set_defaults(func=cmd_run)
+
+    plan = sub.add_parser("plan",
+                          help="show which cells land on which shard")
+    _add_settings_options(plan)
+    plan.add_argument("--shards", type=int, required=True, metavar="K",
+                      help="number of shards to plan for")
+    plan.set_defaults(func=cmd_plan)
+
+    merge = sub.add_parser(
+        "merge", help="merge shard artifacts into a full sweep artifact")
+    merge.add_argument("--out", metavar="PATH", required=True,
+                       help="where to write the merged SweepResult JSON")
+    merge.add_argument("shards", nargs="+", metavar="shard.json",
+                       help="shard artifacts written by run --shard")
+    merge.set_defaults(func=cmd_merge)
+
+    render = sub.add_parser(
+        "render", help="re-render figures from a sweep artifact "
+                       "(zero simulations)")
+    render.add_argument("artifact", help="SweepResult JSON "
+                        "(run --out / merge --out / SweepResult.save)")
+    render.add_argument("--figure", dest="figures", action="append",
+                        metavar="ID", choices=sorted(FIGURES),
+                        help="render only this figure (repeatable)")
+    render.add_argument("--table1", action="store_true",
+                        help="also render Table I from the artifact's "
+                             "first DSR run")
+    render.set_defaults(func=cmd_render)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -24,7 +24,15 @@ Quick usage::
     sweep = run_speed_sweep(SweepSettings.bench(), executor=executor)
 """
 
-from repro.exec.cache import CACHE_FORMAT_VERSION, ResultCache, config_key
+from repro.exec.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheProblem,
+    CacheStats,
+    MergeStats,
+    PruneReport,
+    ResultCache,
+    config_key,
+)
 from repro.exec.executor import (
     ExecutionError,
     Executor,
@@ -36,18 +44,38 @@ from repro.exec.executor import (
     resolve_executor,
     simulate,
 )
+from repro.exec.shard import (
+    ShardSpec,
+    SweepShard,
+    merge_shard_results,
+    plan_shards,
+    run_sweep_shard,
+    shard_of_config,
+    shard_of_key,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CacheProblem",
+    "CacheStats",
     "ExecutionError",
     "Executor",
+    "MergeStats",
     "ParallelExecutor",
+    "PruneReport",
     "ResultCache",
     "SerialExecutor",
+    "ShardSpec",
+    "SweepShard",
     "add_executor_options",
     "build_executor",
     "config_key",
     "executor_from_args",
+    "merge_shard_results",
+    "plan_shards",
     "resolve_executor",
+    "run_sweep_shard",
+    "shard_of_config",
+    "shard_of_key",
     "simulate",
 ]

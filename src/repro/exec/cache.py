@@ -27,11 +27,14 @@ Key properties
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
@@ -93,6 +96,35 @@ class ResultCache:
     def _entry_files(self) -> Iterator[Path]:
         return self.root.glob("??/*.json")
 
+    def temp_files(self) -> List[Path]:
+        """Temporary files left behind by in-flight or crashed writers.
+
+        :meth:`put` writes through ``.{key}.{pid}.tmp`` files; a writer
+        that dies between write and rename orphans its temp file.  Reads
+        never touch them (they match no entry path), but they accumulate
+        forever unless swept — see :meth:`sweep_temp_files`.
+        """
+        return sorted(itertools.chain(self.root.glob(".*.tmp"),
+                                      self.root.glob("??/.*.tmp")))
+
+    def sweep_temp_files(self, min_age_seconds: float = 0.0) -> int:
+        """Delete orphaned writer temp files; returns how many were removed.
+
+        ``min_age_seconds`` protects live writers: only temp files whose
+        mtime is at least that old are deleted (pass ``0`` to sweep
+        everything, safe when no sweep is running against this root).
+        """
+        cutoff = time.time() - min_age_seconds
+        removed = 0
+        for tmp in self.temp_files():
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - racing writer/deleter
+                pass
+        return removed
+
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_files())
 
@@ -150,6 +182,258 @@ class ResultCache:
                 pass
         return removed
 
+    # ------------------------------------------------------------------ #
+    # maintenance (the substrate of the ``repro-cache`` CLI)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> "CacheStats":
+        """Shallow inventory: entry/byte counts per recorded repro version.
+
+        Entries are only read far enough to extract their version stamps;
+        unparseable files are counted as ``unreadable`` rather than
+        raised.  Use :meth:`verify` for the deep (re-hash) check.
+        """
+        by_version: Dict[str, int] = {}
+        entries = unreadable = 0
+        total_bytes = 0
+        for path in self._entry_files():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                version = str(payload.get("repro_version"))
+            except (OSError, ValueError):
+                unreadable += 1
+                continue
+            by_version[version] = by_version.get(version, 0) + 1
+        return CacheStats(root=self.root, entries=entries,
+                          total_bytes=total_bytes, unreadable=unreadable,
+                          temp_files=len(self.temp_files()),
+                          by_version=dict(sorted(by_version.items())),
+                          current_version=__version__)
+
+    def verify(self) -> List["CacheProblem"]:
+        """Deep integrity check of every entry; returns found problems.
+
+        For each entry: the JSON must parse, the recorded key must match
+        the filename, and — for entries stamped with the *current* repro
+        version — the stored config must rebuild and re-hash to that same
+        key.  Entries from other versions are reported as ``stale`` (they
+        are well-formed misses, prunable but not corrupt).
+        """
+        problems: List[CacheProblem] = []
+        for path in sorted(self._entry_files()):
+            name_key = path.stem
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                problems.append(CacheProblem(path, "corrupt",
+                                             f"unreadable JSON: {exc}"))
+                continue
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                problems.append(CacheProblem(
+                    path, "stale", f"cache format "
+                    f"{payload.get('version')!r} != {CACHE_FORMAT_VERSION}"))
+                continue
+            if payload.get("key") != name_key:
+                problems.append(CacheProblem(
+                    path, "corrupt", f"recorded key {payload.get('key')!r} "
+                    f"does not match filename"))
+                continue
+            if payload.get("repro_version") != __version__:
+                problems.append(CacheProblem(
+                    path, "stale", f"repro "
+                    f"{payload.get('repro_version')!r} != {__version__}"))
+                continue
+            try:
+                config = ScenarioConfig.from_dict(payload["config"])
+                ScenarioResult.from_dict(payload["result"])
+            except (ValueError, KeyError, TypeError) as exc:
+                problems.append(CacheProblem(
+                    path, "corrupt", f"entry does not deserialize: {exc}"))
+                continue
+            if config_key(config) != name_key:
+                problems.append(CacheProblem(
+                    path, "corrupt", "stored config re-hashes to "
+                    f"{config_key(config)[:12]}…, not the entry key"))
+        return problems
+
+    def prune(self, temp_min_age_seconds: float = 0.0,
+              dry_run: bool = False) -> "PruneReport":
+        """Remove corrupt entries, stale-version entries, and orphan temps.
+
+        After a prune, every remaining entry is a servable hit for the
+        current ``repro`` version.  With ``dry_run`` nothing is deleted;
+        the report shows what *would* go.
+        """
+        problems = self.verify()
+        removed_corrupt = removed_stale = 0
+        for problem in problems:
+            if not dry_run:
+                try:
+                    problem.path.unlink()
+                except OSError:  # pragma: no cover - racing deleter
+                    continue
+            if problem.kind == "corrupt":
+                removed_corrupt += 1
+            else:
+                removed_stale += 1
+        temps = self.temp_files()
+        if dry_run:
+            cutoff = time.time() - temp_min_age_seconds
+            removed_temps = 0
+            for tmp in temps:
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        removed_temps += 1
+                except OSError:  # pragma: no cover - racing writer
+                    pass
+        else:
+            removed_temps = self.sweep_temp_files(temp_min_age_seconds)
+        return PruneReport(corrupt=removed_corrupt, stale=removed_stale,
+                           temp_files=removed_temps, dry_run=dry_run,
+                           problems=problems)
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_total_bytes: Optional[int] = None,
+           dry_run: bool = False) -> List[Path]:
+        """Expire entries by age and/or shrink the cache to a byte budget.
+
+        ``max_age_seconds`` drops entries whose mtime is older; after
+        that, ``max_total_bytes`` drops the *oldest* surviving entries
+        until the remainder fits.  Returns the (would-be) deleted paths.
+        """
+        if max_age_seconds is None and max_total_bytes is None:
+            raise ValueError("gc needs max_age_seconds and/or max_total_bytes")
+        now = time.time()
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing deleter
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        doomed: List[Path] = []
+        survivors: List[Tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                doomed.append(path)
+            else:
+                survivors.append((mtime, size, path))
+        if max_total_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            for _, size, path in survivors:
+                if total <= max_total_bytes:
+                    break
+                doomed.append(path)
+                total -= size
+        if not dry_run:
+            for path in doomed:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing deleter
+                    pass
+        return doomed
+
+    def merge_from(self, source: Union["ResultCache", str, os.PathLike],
+                   ) -> "MergeStats":
+        """Copy every entry of ``source`` into this cache.
+
+        This is how sharded sweeps come back together: each shard runs
+        against its own cache root, then the roots are merged into one.
+        Entries are content-addressed, so a same-key collision should
+        carry identical bytes; when it does not (``conflicts``), the
+        existing destination entry is kept and the difference reported
+        rather than silently overwritten.  Orphan temp files in the
+        source are never copied.
+        """
+        if not isinstance(source, ResultCache):
+            # Unlike the constructor (which creates missing roots), a merge
+            # source must already exist: silently "merging" a typo'd path
+            # would drop that shard's entries and report success.
+            if not Path(source).is_dir():
+                raise ValueError(
+                    f"merge source {str(source)!r} is not an existing "
+                    f"cache directory")
+            source = ResultCache(source)
+        if source.root.resolve() == self.root.resolve():
+            raise ValueError("cannot merge a cache into itself")
+        copied = identical = conflicts = 0
+        conflict_paths: List[Path] = []
+        for src_path in sorted(source._entry_files()):
+            dst_path = self.root / src_path.parent.name / src_path.name
+            data = src_path.read_bytes()
+            if dst_path.is_file():
+                if dst_path.read_bytes() == data:
+                    identical += 1
+                else:
+                    conflicts += 1
+                    conflict_paths.append(dst_path)
+                continue
+            dst_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = dst_path.parent / f".{dst_path.stem}.{os.getpid()}.tmp"
+            tmp.write_bytes(data)
+            os.replace(tmp, dst_path)
+            copied += 1
+        return MergeStats(copied=copied, identical=identical,
+                          conflicts=conflicts, conflict_paths=conflict_paths)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
                 f"hits={self.hits}, misses={self.misses})")
+
+
+# ---------------------------------------------------------------------- #
+# maintenance report types
+# ---------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Shallow inventory of a cache directory (see :meth:`ResultCache.stats`)."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    unreadable: int
+    temp_files: int
+    #: entry count per recorded ``repro_version`` stamp.
+    by_version: Dict[str, int]
+    current_version: str
+
+    @property
+    def current(self) -> int:
+        """Entries servable by the current ``repro`` version."""
+        return self.by_version.get(self.current_version, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheProblem:
+    """One defective cache entry found by :meth:`ResultCache.verify`.
+
+    ``kind`` is ``"corrupt"`` (unreadable, mis-keyed, or undeserializable)
+    or ``"stale"`` (well-formed but from another format/repro version).
+    """
+
+    path: Path
+    kind: str
+    detail: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneReport:
+    """What :meth:`ResultCache.prune` removed (or would remove)."""
+
+    corrupt: int
+    stale: int
+    temp_files: int
+    dry_run: bool
+    problems: List[CacheProblem]
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeStats:
+    """Outcome of :meth:`ResultCache.merge_from`."""
+
+    copied: int
+    identical: int
+    conflicts: int
+    conflict_paths: List[Path]

@@ -22,6 +22,7 @@ from repro.experiments.figures import (
     FigureSpec,
     figure_series,
     format_figure,
+    render_figures,
     run_figure,
 )
 from repro.experiments.table1 import run_table1, format_table1
@@ -39,6 +40,7 @@ __all__ = [
     "FigureSpec",
     "figure_series",
     "format_figure",
+    "render_figures",
     "run_figure",
     "run_table1",
     "format_table1",

@@ -10,7 +10,8 @@ EXPERIMENTS.md compare against.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exec import Executor, ResultCache
 from repro.experiments.sweep import SweepResult, SweepSettings, run_speed_sweep
@@ -152,15 +153,41 @@ def format_figure(sweep: SweepResult, figure_id: str) -> str:
 def run_figure(figure_id: str, settings: Optional[SweepSettings] = None,
                sweep: Optional[SweepResult] = None,
                executor: Optional[Executor] = None,
-               cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
+               cache: Optional[ResultCache] = None,
+               artifact: Union[str, os.PathLike, None] = None,
+               ) -> Dict[str, List[float]]:
     """Run (or reuse) a sweep and return the figure's per-protocol series.
 
     ``executor``/``cache`` (see :mod:`repro.exec`) are forwarded to
     :func:`run_speed_sweep` when no existing ``sweep`` is supplied; with a
     shared cache, regenerating every figure costs one sweep in total.
+    ``artifact`` reuses a sweep saved by :meth:`SweepResult.save` instead
+    of simulating: the figure is re-rendered without touching the cache
+    or the simulator at all.
     """
     if figure_id not in FIGURES:
         raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
+    if artifact is not None:
+        if sweep is not None:
+            raise ValueError("pass either sweep= or artifact=, not both")
+        sweep = SweepResult.load(artifact)
     if sweep is None:
         sweep = run_speed_sweep(settings, executor=executor, cache=cache)
     return figure_series(sweep, figure_id)
+
+
+def render_figures(sweep: SweepResult,
+                   figure_ids: Optional[Sequence[str]] = None) -> str:
+    """Render the requested figures (default: all, in id order) as text.
+
+    This is the incremental-regeneration path: pair it with
+    :meth:`SweepResult.load` to re-render every figure from a saved sweep
+    artifact with **zero** simulations (CLI: ``repro-sweep render``).
+    """
+    if figure_ids is None:
+        figure_ids = sorted(FIGURES)
+    unknown = sorted(set(figure_ids) - set(FIGURES))
+    if unknown:
+        raise KeyError(f"unknown figures {unknown}; known: {sorted(FIGURES)}")
+    return "\n\n".join(format_figure(sweep, figure_id)
+                       for figure_id in figure_ids)

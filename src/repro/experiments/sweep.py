@@ -100,12 +100,19 @@ class SweepSettings:
 
         The order (protocol-major, then speed, then replication) is the
         contract that makes sweep results independent of the execution
-        strategy: executors return results in submission order.
+        strategy: executors return results in submission order, and the
+        shard planner (:mod:`repro.exec.shard`) addresses cells by their
+        position in this list.
         """
         return [(protocol, float(speed), replication)
                 for protocol in self.protocols
                 for speed in self.speeds
                 for replication in range(self.replications)]
+
+    def cell_configs(self) -> List[ScenarioConfig]:
+        """The scenario configuration of every grid cell, in grid order."""
+        return [self.cell_config(protocol, speed, replication)
+                for protocol, speed, replication in self.grid()]
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -165,6 +172,16 @@ class SweepResult:
                 for speed in self.settings.speeds
             ]
         return series
+
+    def runs_for_protocol(self, protocol: str) -> List[ScenarioResult]:
+        """Every individual run of ``protocol``, ordered by (speed, rep).
+
+        Useful for re-deriving single-run artifacts (e.g. Table I from a
+        DSR run) out of a saved sweep without re-simulating.
+        """
+        return [run for (cell_protocol, _speed), cell_runs
+                in sorted(self.runs.items())
+                if cell_protocol == protocol for run in cell_runs]
 
     def rows(self) -> List[dict]:
         """Flat per-cell rows (protocol, speed, every aggregated metric)."""
@@ -251,8 +268,7 @@ def run_speed_sweep(settings: Optional[SweepSettings] = None,
     settings = settings or SweepSettings.bench()
     runner = resolve_executor(executor, cache)
     grid = settings.grid()
-    configs = [settings.cell_config(protocol, speed, replication)
-               for protocol, speed, replication in grid]
+    configs = settings.cell_configs()
 
     executor_progress = None
     if progress is not None:

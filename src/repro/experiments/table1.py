@@ -20,8 +20,9 @@ from repro.scenario.results import ScenarioResult
 def run_table1(config: Optional[ScenarioConfig] = None,
                executor: Optional[Executor] = None,
                cache: Optional[ResultCache] = None,
+               result: Optional[ScenarioResult] = None,
                ) -> Tuple[RelayNormalization, ScenarioResult]:
-    """Run one DSR scenario and compute the Table I normalisation.
+    """Run (or reuse) one DSR scenario and compute the Table I normalisation.
 
     Parameters
     ----------
@@ -33,7 +34,16 @@ def run_table1(config: Optional[ScenarioConfig] = None,
         Optional execution strategy and result cache (see
         :mod:`repro.exec`); with a cache the walkthrough is free when the
         same scenario was already simulated.
+    result:
+        A previously computed DSR run (e.g. pulled out of a saved
+        :class:`~repro.experiments.sweep.SweepResult` artifact); when
+        given, nothing is simulated and ``config``/``executor``/``cache``
+        are ignored — the artifact-only path of ``repro-sweep render``.
     """
+    if result is not None:
+        if result.protocol != "DSR":
+            raise ValueError("Table I is defined for a DSR scenario")
+        return normalize_relay_counts(result.relay_counts), result
     if config is None:
         config = ScenarioConfig(protocol="DSR", n_nodes=50,
                                 field_size=(1000.0, 1000.0), max_speed=10.0,

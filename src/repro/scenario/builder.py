@@ -161,10 +161,9 @@ class ScenarioBuilder:
         config = self.config
         if config.flows is not None:
             return list(config.flows)
+        # Feasibility (2 * n_flows <= n_nodes) is validated up front in
+        # ScenarioConfig.__post_init__, before any dispatch to workers.
         rng = sim.rng("traffic")
-        if 2 * config.n_flows > config.n_nodes:
-            raise ValueError("not enough nodes for the requested number of "
-                             "disjoint flows")
         chosen = rng.choice(config.n_nodes, size=2 * config.n_flows,
                             replace=False)
         return [(int(chosen[2 * i]), int(chosen[2 * i + 1]))

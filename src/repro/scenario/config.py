@@ -112,8 +112,18 @@ class ScenarioConfig:
                 f"one of {SUPPORTED_MOBILITY}")
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")
-        if self.n_flows < 1 and not self.flows:
+        # With explicit flows, n_flows is derived, never independent: a
+        # stale value would poison the cache key (two behaviourally
+        # identical configs hashing differently) and lie in saved
+        # artifacts.
+        if self.flows is not None:
+            self.n_flows = len(self.flows)
+        if self.n_flows < 1:
             raise ValueError("need at least one traffic flow")
+        if self.flows is None and 2 * self.n_flows > self.n_nodes:
+            raise ValueError(
+                f"not enough nodes for {self.n_flows} disjoint random "
+                f"flows (need 2*n_flows <= n_nodes={self.n_nodes})")
         if self.sim_time <= 0:
             raise ValueError("sim_time must be positive")
         if self.max_speed <= 0:

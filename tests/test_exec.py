@@ -11,6 +11,8 @@ The two properties the subsystem promises:
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
@@ -100,6 +102,14 @@ class TestSerialization:
         assert config_key(config) == config_key(tiny_config())
         assert config_key(config) == config_key(config.replace(trace=True))
         assert config_key(config) != config_key(config.replace(seed=4))
+
+    def test_config_key_not_aliased_by_stale_n_flows(self):
+        # With explicit flows, n_flows is ignored by the builder; two
+        # behaviourally identical configs must share one cache entry.
+        a = tiny_config(flows=[(0, 5)])
+        b = tiny_config(flows=[(0, 5)], n_flows=4)
+        assert a == b
+        assert config_key(a) == config_key(b)
 
 
 class TestExecutors:
@@ -223,3 +233,139 @@ class TestResultCache:
         executor = SerialExecutor(cache=cache)
         run_speed_sweep(settings, executor=executor)
         assert executor.simulations_run == len(settings.grid()) - 1
+
+
+class TestCacheMaintenance:
+    """The hygiene layer under the ``repro-cache`` CLI."""
+
+    def warm_cache(self, tmp_path, tiny_result, n=3) -> ResultCache:
+        cache = ResultCache(tmp_path / "cache")
+        for seed in range(1, n + 1):
+            cache.put(tiny_config(seed=seed), tiny_result)
+        return cache
+
+    def orphan_temp(self, cache: ResultCache, age_seconds: float = 0.0,
+                    pid: int = 99999):
+        """Fake what a writer that crashed mid-put leaves behind."""
+        shard_dir = cache.root / "ab"
+        shard_dir.mkdir(exist_ok=True)
+        tmp = shard_dir / f".{'ab' + 62 * '0'}.{pid}.tmp"
+        tmp.write_text("{\"partial\":")
+        if age_seconds:
+            os.utime(tmp, (time.time() - age_seconds,) * 2)
+        return tmp
+
+    def test_orphan_temp_files_are_invisible_to_reads(self, tmp_path,
+                                                      tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result, n=1)
+        self.orphan_temp(cache)
+        assert len(cache) == 1
+        assert cache.get(tiny_config(seed=1)) == tiny_result
+        assert len(cache.temp_files()) == 1
+
+    def test_sweep_temp_files_respects_min_age(self, tmp_path, tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result, n=1)
+        fresh = self.orphan_temp(cache, pid=11111)   # maybe a live writer
+        self.orphan_temp(cache, age_seconds=7200.0, pid=22222)
+        assert cache.sweep_temp_files(min_age_seconds=3600.0) == 1
+        assert cache.temp_files() == [fresh]         # fresh one survives
+        assert cache.sweep_temp_files() == 1
+        assert cache.temp_files() == []
+
+    def test_stats_counts_versions_and_temps(self, tmp_path, tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result)
+        self.orphan_temp(cache)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.current == 3
+        assert stats.temp_files == 1
+        assert stats.unreadable == 0
+        assert stats.total_bytes > 0
+
+    def test_verify_flags_corrupt_and_mismatched_entries(self, tmp_path,
+                                                         tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result)
+        assert cache.verify() == []
+        # Corrupt one entry, mis-key another (valid JSON, wrong filename).
+        paths = sorted(cache._entry_files())
+        paths[0].write_text("not json")
+        ff_dir = cache.root / "ff"
+        ff_dir.mkdir(exist_ok=True)
+        paths[1].rename(ff_dir / ("ff" + paths[1].name[2:]))
+        problems = cache.verify()
+        assert sorted(p.kind for p in problems) == ["corrupt", "corrupt"]
+
+    def test_verify_flags_other_version_entries_as_stale(self, tmp_path,
+                                                         tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result, n=1)
+        path = next(iter(cache._entry_files()))
+        payload = json.loads(path.read_text())
+        payload["repro_version"] = "0.0.1"
+        path.write_text(json.dumps(payload))
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["stale"]
+
+    def test_prune_removes_bad_entries_and_orphans(self, tmp_path,
+                                                   tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result)
+        next(iter(cache._entry_files())).write_text("broken")
+        self.orphan_temp(cache)
+        dry = cache.prune(dry_run=True)
+        assert (dry.corrupt, dry.temp_files) == (1, 1)
+        assert len(cache) == 3                       # nothing removed yet
+        report = cache.prune()
+        assert (report.corrupt, report.stale, report.temp_files) == (1, 0, 1)
+        assert len(cache) == 2
+        assert cache.verify() == []
+
+    def test_gc_by_age_and_size(self, tmp_path, tiny_result):
+        cache = self.warm_cache(tmp_path, tiny_result)
+        paths = sorted(cache._entry_files())
+        os.utime(paths[0], (time.time() - 10 * 86400,) * 2)
+        assert cache.gc(max_age_seconds=86400.0, dry_run=True) == [paths[0]]
+        assert len(cache) == 3
+        assert cache.gc(max_age_seconds=86400.0) == [paths[0]]
+        assert len(cache) == 2
+        # Shrink to a budget that fits exactly one entry.
+        entry_size = paths[1].stat().st_size
+        removed = cache.gc(max_total_bytes=entry_size)
+        assert len(removed) == 1
+        assert len(cache) == 1
+        with pytest.raises(ValueError):
+            cache.gc()
+
+    def test_merge_from_combines_roots(self, tmp_path, tiny_result):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        a.put(tiny_config(seed=1), tiny_result)
+        b.put(tiny_config(seed=1), tiny_result)      # identical bytes
+        b.put(tiny_config(seed=2), tiny_result)
+        merged = ResultCache(tmp_path / "merged")
+        assert merged.merge_from(a).copied == 1
+        stats = merged.merge_from(b)
+        assert (stats.copied, stats.identical, stats.conflicts) == (1, 1, 0)
+        assert len(merged) == 2
+        assert merged.get(tiny_config(seed=2)) == tiny_result
+        with pytest.raises(ValueError, match="itself"):
+            merged.merge_from(merged)
+
+    def test_merge_from_rejects_missing_source(self, tmp_path, tiny_result):
+        # A typo'd shard-cache path must fail loudly, not "merge" an
+        # empty directory it just created and report success.
+        dest = ResultCache(tmp_path / "dest")
+        dest.put(tiny_config(seed=1), tiny_result)
+        with pytest.raises(ValueError, match="not an existing"):
+            dest.merge_from(tmp_path / "cahce-1")
+        assert not (tmp_path / "cahce-1").exists()
+
+    def test_merge_from_reports_conflicts_and_keeps_destination(
+            self, tmp_path, tiny_result):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        path_a = a.put(tiny_config(seed=1), tiny_result)
+        b.put(tiny_config(seed=1), tiny_result)
+        original = path_a.read_text()
+        path_a.write_text(original + " ")            # same key, new bytes
+        stats = a.merge_from(b)
+        assert (stats.copied, stats.conflicts) == (0, 1)
+        assert path_a.read_text() == original + " "  # destination kept

@@ -49,6 +49,26 @@ class TestScenarioConfig:
             ScenarioConfig(n_nodes=3, mobility_model="static",
                            static_positions=[(0, 0)])
 
+    def test_n_flows_is_reconciled_with_explicit_flows(self):
+        # A stale n_flows next to explicit flows used to survive into the
+        # cache key and saved artifacts; it is now derived.
+        config = ScenarioConfig.tiny(flows=[(0, 5), (1, 6)], n_flows=7)
+        assert config.n_flows == 2
+        assert config.replace(flows=[(0, 5)]).n_flows == 1
+
+    def test_empty_flow_list_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one traffic flow"):
+            ScenarioConfig.tiny(flows=[])
+
+    def test_infeasible_random_flow_count_fails_at_construction(self):
+        # Used to raise only inside ScenarioBuilder._select_flows — i.e.
+        # mid-sweep inside a worker; now the config itself is invalid.
+        with pytest.raises(ValueError, match="not enough nodes"):
+            ScenarioConfig(n_nodes=4, n_flows=3)
+        # Explicit flows may share nodes, so the bound does not apply.
+        config = ScenarioConfig(n_nodes=4, flows=[(0, 1), (0, 2), (0, 3)])
+        assert config.n_flows == 3
+
     def test_replace_returns_modified_copy(self):
         config = ScenarioConfig.tiny()
         changed = config.replace(max_speed=17.0)
