@@ -3,13 +3,17 @@
 
 Runs the speed sweep (protocols × maximum speeds × replications), then
 prints one text table per figure (5–11) plus the Table I relay
-normalisation walkthrough.  Three profiles are available:
+normalisation walkthrough.  The canned grid profiles of
+:data:`repro.experiments.SWEEP_PROFILES` are available:
 
 * ``--profile smoke`` — a couple of minutes; sanity check only.
 * ``--profile bench`` — the default; scaled-down runs (25 s, 1 rep,
   3 speeds) whose protocol ordering matches the full configuration.
 * ``--profile paper`` — the full §IV-A grid (200 s × 5 reps × 5 speeds
   × 3 protocols); expect several hours of wall-clock time.
+* ``--profile dense`` / ``sparse`` / ``multiflow`` — beyond-the-paper
+  workloads: 100 nodes at twice/half the paper's density, or five
+  concurrent TCP flows.
 
 Execution is pluggable: ``--workers N`` fans the independent grid cells
 out over N worker processes (results are bit-for-bit identical to the
@@ -37,24 +41,20 @@ from repro.exec import add_executor_options, executor_from_args
 from repro.experiments import (
     FIGURES,
     SweepResult,
+    SWEEP_PROFILES,
     SweepSettings,
     format_figure,
     format_table1,
     render_figures,
     run_speed_sweep,
     run_table1,
+    sweep_profile,
 )
 from repro.scenario import ScenarioConfig
 
 
 def build_settings(profile: str) -> SweepSettings:
-    if profile == "paper":
-        return SweepSettings.paper()
-    if profile == "bench":
-        return SweepSettings.bench()
-    if profile == "smoke":
-        return SweepSettings.smoke()
-    raise ValueError(f"unknown profile {profile!r}")
+    return sweep_profile(profile)
 
 
 def render_from_artifact(path: str) -> int:
@@ -80,7 +80,7 @@ def render_from_artifact(path: str) -> int:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="bench",
-                        choices=["smoke", "bench", "paper"])
+                        choices=sorted(SWEEP_PROFILES))
     parser.add_argument("--skip-table1", action="store_true",
                         help="skip the Table I walkthrough run")
     add_executor_options(parser)

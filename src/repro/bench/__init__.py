@@ -1,0 +1,37 @@
+"""Performance-tracking subsystem (``repro.bench`` / ``repro-bench``).
+
+Runs canned scenario profiles against the simulation kernel and records,
+per case, the quantities that the kernel optimisations target:
+
+* wall-clock time and **events per second** (the headline number),
+* event-heap health: peak heap size, cancelled garbage, heap compactions,
+* spatial-index health: grid rebuilds, cell occupancy, candidate-set
+  sizes (see :meth:`repro.net.channel.WirelessChannel.grid_stats`).
+
+Reports are written as ``BENCH_<profile>.json`` artifacts so the perf
+trajectory of the kernel is tracked in-repo from PR 3 onward: re-run
+``repro-bench`` after touching a hot path and diff the artifact.
+
+The profiles (:data:`repro.bench.profiles.BENCH_PROFILES`) mirror the
+sweep profiles where sensible — ``dense`` and ``sparse`` benchmark
+exactly the topologies that ``repro-sweep run --profile dense/sparse``
+simulates — plus a ``scale`` ladder (50 → 500 nodes at constant density)
+for the "how does it scale" question.
+
+Benchmark runs bypass the result cache on purpose: a bench measures the
+simulator, and a cache hit would measure JSON parsing instead.
+"""
+
+from repro.bench.profiles import BENCH_PROFILES, BenchCase, BenchProfile, bench_profile
+from repro.bench.runner import BenchCaseResult, BenchReport, run_case, run_profile
+
+__all__ = [
+    "BENCH_PROFILES",
+    "BenchCase",
+    "BenchCaseResult",
+    "BenchProfile",
+    "BenchReport",
+    "bench_profile",
+    "run_case",
+    "run_profile",
+]

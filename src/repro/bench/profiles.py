@@ -1,0 +1,145 @@
+"""Canned benchmark profiles.
+
+A profile is an ordered list of named :class:`BenchCase` scenarios.  The
+``dense`` and ``sparse`` profiles are derived from the equally-named
+:class:`~repro.experiments.sweep.SweepSettings` profiles (same topology
+and traffic, shortened runs), so the benchmark measures the workload the
+sweeps actually produce; ``scale`` grows the node count at constant
+density, which is where spatial-index and heap behaviour change shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.experiments.sweep import SweepSettings
+from repro.scenario.config import ScenarioConfig
+
+#: Protocols exercised by the per-protocol profiles.
+BENCH_PROTOCOLS = ("MTS", "AODV", "DSR")
+
+#: Seed used by every benchmark case (perf numbers should be comparable
+#: across runs, so the workload must not drift).
+BENCH_SEED = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCase:
+    """One named scenario to benchmark."""
+
+    name: str
+    config: ScenarioConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchProfile:
+    """A named, ordered collection of benchmark cases."""
+
+    name: str
+    description: str
+    cases: Tuple[BenchCase, ...]
+
+
+def _sweep_cases(settings: SweepSettings, sim_time: float,
+                 speed: float = 10.0) -> Tuple[BenchCase, ...]:
+    """Per-protocol cases drawn from a sweep profile's own grid cells."""
+    cases = []
+    for protocol in settings.protocols:
+        config = settings.cell_config(protocol, speed, 0).replace(
+            sim_time=sim_time, seed=BENCH_SEED)
+        cases.append(BenchCase(name=f"{protocol.lower()}_n{config.n_nodes}",
+                               config=config))
+    return tuple(cases)
+
+
+def _tiny_profile() -> BenchProfile:
+    cases = tuple(
+        BenchCase(name=f"{protocol.lower()}_tiny",
+                  config=ScenarioConfig.tiny(protocol=protocol,
+                                             seed=BENCH_SEED))
+        for protocol in ("MTS", "AODV"))
+    return BenchProfile(
+        name="tiny",
+        description="Two ~10-node scenarios; a seconds-long sanity check "
+                    "used by the unit tests.",
+        cases=cases)
+
+
+def _smoke_profile() -> BenchProfile:
+    cases = tuple(
+        BenchCase(name=f"{protocol.lower()}_n25",
+                  config=ScenarioConfig.small(protocol=protocol,
+                                              seed=BENCH_SEED))
+        for protocol in BENCH_PROTOCOLS)
+    return BenchProfile(
+        name="smoke",
+        description="Per-protocol 25-node scenarios at the paper's node "
+                    "density; the CI perf-tracking workload.",
+        cases=cases)
+
+
+def _dense_profile() -> BenchProfile:
+    return BenchProfile(
+        name="dense",
+        description="Per-protocol cells of SweepSettings.dense(): 100 "
+                    "nodes on 1 km**2, twice the paper's density.",
+        cases=_sweep_cases(SweepSettings.dense(), sim_time=15.0))
+
+
+def _sparse_profile() -> BenchProfile:
+    return BenchProfile(
+        name="sparse",
+        description="Per-protocol cells of SweepSettings.sparse(): 100 "
+                    "nodes on 2 km x 2 km, half the paper's density.",
+        cases=_sweep_cases(SweepSettings.sparse(), sim_time=15.0))
+
+
+def _scale_profile() -> BenchProfile:
+    #: (n_nodes, field side in metres, seconds) at ~constant density.
+    ladder = ((50, 1000.0, 10.0), (100, 1400.0, 10.0),
+              (250, 2250.0, 5.0), (500, 3150.0, 5.0))
+    cases = tuple(
+        BenchCase(
+            name=f"aodv_n{n_nodes}",
+            config=ScenarioConfig(protocol="AODV", n_nodes=n_nodes,
+                                  field_size=(side, side),
+                                  sim_time=sim_time, max_speed=10.0,
+                                  seed=BENCH_SEED))
+        for n_nodes, side, sim_time in ladder)
+    return BenchProfile(
+        name="scale",
+        description="AODV at 50 -> 500 nodes with constant node density; "
+                    "exercises grid growth and heap pressure.",
+        cases=cases)
+
+
+#: All profiles by name, built lazily (factories) so importing this module
+#: never constructs scenario configs.
+_PROFILE_FACTORIES = {
+    "tiny": _tiny_profile,
+    "smoke": _smoke_profile,
+    "dense": _dense_profile,
+    "sparse": _sparse_profile,
+    "scale": _scale_profile,
+}
+
+#: Public, stable listing of the available profile names.
+BENCH_PROFILES: Tuple[str, ...] = tuple(sorted(_PROFILE_FACTORIES))
+
+
+def bench_profile(name: str) -> BenchProfile:
+    """Instantiate the benchmark profile ``name``.
+
+    Raises
+    ------
+    ValueError
+        For unknown names (the message lists the valid ones).
+    """
+    try:
+        factory = _PROFILE_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(BENCH_PROFILES)
+        raise ValueError(f"unknown bench profile {name!r}; "
+                         f"expected one of: {known}") from None
+    return factory()

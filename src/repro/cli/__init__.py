@@ -1,6 +1,6 @@
 """Command-line interfaces for the experiment-execution subsystem.
 
-Two console entry points (also runnable without installation as
+Three console entry points (also runnable without installation as
 ``python -m repro.cli <tool> …`` with ``PYTHONPATH=src``):
 
 * ``repro-cache`` (:mod:`repro.cli.cache`) — inspect and maintain
@@ -11,10 +11,13 @@ Two console entry points (also runnable without installation as
   one shard of a K-way split (``run --shard i/K``), merge shard
   artifacts back into a full sweep (``merge``), and re-render figures
   from a saved artifact with zero simulations (``render``).
+* ``repro-bench`` (:mod:`repro.cli.bench`) — run kernel benchmark
+  profiles and write ``BENCH_<profile>.json`` perf-tracking artifacts
+  (wall-time, events/sec, heap and spatial-grid health).
 
-Both tools only print and exit; all behaviour lives in the library
-(:mod:`repro.exec`, :mod:`repro.experiments`) so it is equally usable
-from Python.
+All tools only print and exit; behaviour lives in the library
+(:mod:`repro.exec`, :mod:`repro.experiments`, :mod:`repro.bench`) so it
+is equally usable from Python.
 """
 
 __all__ = []

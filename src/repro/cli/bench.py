@@ -1,0 +1,89 @@
+"""``repro-bench`` — run kernel benchmarks and write ``BENCH_*.json``.
+
+Usage::
+
+    repro-bench [--profile P ...] [--out-dir DIR] [--quiet]
+    repro-bench --list
+
+Runs each requested profile (default: ``smoke``) and writes one
+``BENCH_<profile>.json`` artifact per profile into ``--out-dir``
+(default: the current directory).  The artifact records, per case,
+wall-time, events/sec, event-heap health (peak size, compactions,
+cancelled garbage) and spatial-grid health (rebuilds, occupancy,
+candidate-set sizes) — see :mod:`repro.bench`.
+
+Perf numbers are host-dependent; compare artifacts produced on the same
+machine.  The simulated workload itself is pinned (fixed seeds), so the
+``events`` column must not change across runs on any machine — if it
+does, kernel behaviour changed, not just its speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import BENCH_PROFILES, bench_profile, run_profile
+from repro.bench.runner import BenchCaseResult
+
+
+def _print_case(result: BenchCaseResult) -> None:
+    grid = result.grid
+    print(f"  {result.name:<14} {result.events:>9} events in "
+          f"{result.wall_time_s:7.2f} s = {result.events_per_sec:>9.0f} ev/s"
+          f"  peak-heap={result.peak_heap_size} "
+          f"compactions={result.heap_compactions} "
+          f"rebuilds={grid['grid_rebuilds']:.0f} "
+          f"cells={grid['cells_used']:.0f} "
+          f"occ(mean/max)={grid['mean_occupancy']:.1f}/"
+          f"{grid['max_occupancy']:.0f} "
+          f"cand(mean/max)={grid['mean_candidate_set']:.1f}/"
+          f"{grid['max_candidate_set']:.0f}", flush=True)
+
+
+def cmd_list() -> int:
+    for name in BENCH_PROFILES:
+        profile = bench_profile(name)
+        print(f"{name:<8} {len(profile.cases)} case(s): "
+              f"{profile.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run simulation-kernel benchmarks and write "
+                    "BENCH_<profile>.json perf-tracking artifacts.")
+    parser.add_argument("--profile", dest="profiles", action="append",
+                        choices=list(BENCH_PROFILES), metavar="NAME",
+                        help=f"profile to run (repeatable; default: smoke; "
+                             f"one of: {', '.join(BENCH_PROFILES)})")
+    parser.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="directory to write BENCH_<profile>.json into "
+                             "(default: current directory)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
+    parser.add_argument("--list", action="store_true",
+                        help="list the available profiles and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        return cmd_list()
+
+    for name in args.profiles or ["smoke"]:
+        profile = bench_profile(name)
+        print(f"profile {profile.name}: {len(profile.cases)} case(s)")
+        report = run_profile(profile,
+                             progress=None if args.quiet else _print_case)
+        totals = report.totals()
+        print(f"  total: {totals['events']:.0f} events in "
+              f"{totals['wall_time_s']:.2f} s = "
+              f"{totals['events_per_sec']:.0f} ev/s")
+        path = report.save(args.out_dir)
+        print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

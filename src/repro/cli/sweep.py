@@ -45,12 +45,14 @@ from repro.exec import (
 )
 from repro.experiments import (
     FIGURES,
+    SWEEP_PROFILES,
     SweepResult,
     SweepSettings,
     format_table1,
     render_figures,
     run_speed_sweep,
     run_table1,
+    sweep_profile,
 )
 
 
@@ -58,17 +60,13 @@ def _load_settings(args: argparse.Namespace) -> SweepSettings:
     if args.settings_json:
         payload = Path(args.settings_json).read_text(encoding="utf-8")
         return SweepSettings.from_json(payload)
-    if args.profile == "paper":
-        return SweepSettings.paper()
-    if args.profile == "bench":
-        return SweepSettings.bench()
-    return SweepSettings.smoke()
+    return sweep_profile(args.profile)
 
 
 def _add_settings_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--profile", default="bench",
-                       choices=["smoke", "bench", "paper"],
+                       choices=sorted(SWEEP_PROFILES),
                        help="canned grid profile (default: bench)")
     group.add_argument("--settings-json", metavar="FILE", default=None,
                        help="load SweepSettings from a JSON file instead "

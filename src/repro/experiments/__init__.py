@@ -13,9 +13,11 @@
 """
 
 from repro.experiments.sweep import (
+    SWEEP_PROFILES,
     SweepSettings,
     SweepResult,
     run_speed_sweep,
+    sweep_profile,
 )
 from repro.experiments.figures import (
     FIGURES,
@@ -33,9 +35,11 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "SWEEP_PROFILES",
     "SweepSettings",
     "SweepResult",
     "run_speed_sweep",
+    "sweep_profile",
     "FIGURES",
     "FigureSpec",
     "figure_series",

@@ -89,6 +89,43 @@ class SweepSettings:
         return cls(protocols=("AODV", "MTS"), speeds=(5.0,),
                    replications=1, config_overrides=config)
 
+    @classmethod
+    def dense(cls, **overrides) -> "SweepSettings":
+        """A dense topology: 100 nodes on the paper's 1 km² field.
+
+        Twice the paper's node density, so contention, candidate-set
+        sizes and flooding overhead all grow — the workload the spatial
+        grid and the kernel hot paths are optimised for.
+        """
+        config = dict(n_nodes=100, field_size=(1000.0, 1000.0),
+                      sim_time=50.0)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=(5.0, 10.0, 20.0),
+                   replications=2, config_overrides=config)
+
+    @classmethod
+    def sparse(cls, **overrides) -> "SweepSettings":
+        """A sparse topology: 100 nodes spread over a 2 km × 2 km field.
+
+        Half the paper's node density — longer routes, more route
+        breakage, and a spatial grid whose 3×3 candidate blocks cover
+        only a small fraction of the network.
+        """
+        config = dict(n_nodes=100, field_size=(2000.0, 2000.0),
+                      sim_time=50.0)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=(5.0, 10.0, 20.0),
+                   replications=2, config_overrides=config)
+
+    @classmethod
+    def multiflow(cls, **overrides) -> "SweepSettings":
+        """The paper's topology carrying five concurrent TCP flows."""
+        config = dict(n_nodes=50, field_size=(1000.0, 1000.0),
+                      sim_time=50.0, n_flows=5)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=(5.0, 10.0, 20.0),
+                   replications=2, config_overrides=config)
+
     def cell_config(self, protocol: str, speed: float, replication: int) -> ScenarioConfig:
         """The scenario configuration of one grid cell replication."""
         seed = self.base_seed + 1000 * replication
@@ -146,6 +183,29 @@ class SweepSettings:
     def from_json(cls, payload: str) -> "SweepSettings":
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(payload))
+
+
+#: Canned grid profiles addressable by name (CLI ``--profile``, bench
+#: subsystem).  Values are zero-argument factories.
+SWEEP_PROFILES = {
+    "smoke": SweepSettings.smoke,
+    "bench": SweepSettings.bench,
+    "paper": SweepSettings.paper,
+    "dense": SweepSettings.dense,
+    "sparse": SweepSettings.sparse,
+    "multiflow": SweepSettings.multiflow,
+}
+
+
+def sweep_profile(name: str) -> SweepSettings:
+    """Instantiate the canned :class:`SweepSettings` profile ``name``."""
+    try:
+        factory = SWEEP_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(SWEEP_PROFILES))
+        raise ValueError(f"unknown sweep profile {name!r}; "
+                         f"expected one of: {known}") from None
+    return factory()
 
 
 @dataclasses.dataclass

@@ -56,6 +56,9 @@ class RandomWalk(MobilityModel):
         self._segment_starts: List[float] = [0.0]
         self._end_time = 0.0
         self._pos = start
+        # Memo of the last segment a query landed in (queries cluster in
+        # time); a hit is equivalent to the bisect it replaces.
+        self._cached_index = 0
 
     def _reflect(self, value: float, limit: float) -> float:
         """Reflect ``value`` into ``[0, limit]``."""
@@ -81,10 +84,25 @@ class RandomWalk(MobilityModel):
             self._end_time = t1
             self._pos = end
 
+    def _segment_index(self, time: float) -> int:
+        """Index of the segment covering ``time``; memo hit skips the bisect.
+
+        The fast-path predicate is the half-open span the bisect would
+        select, so the two can never disagree (same shape as
+        :meth:`repro.mobility.random_waypoint.RandomWaypoint._segment_index`).
+        """
+        starts = self._segment_starts
+        index = self._cached_index
+        if (index + 1 < len(starts)
+                and starts[index] <= time < starts[index + 1]):
+            return index
+        index = max(bisect.bisect_right(starts, time) - 1, 0)
+        self._cached_index = index
+        return index
+
     def position(self, time: float) -> Tuple[float, float]:
         if time < 0:
             time = 0.0
         if time >= self._end_time:
             self._extend_to(time + self._EXTEND_CHUNK)
-        index = max(bisect.bisect_right(self._segment_starts, time) - 1, 0)
-        return self._segments[index].position(time)
+        return self._segments[self._segment_index(time)].position(time)

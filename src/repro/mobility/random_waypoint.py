@@ -78,6 +78,9 @@ class RandomWaypoint(MobilityModel):
         self._segment_starts: List[float] = []
         self._trajectory_end: float = 0.0
         self._current_pos = start
+        # Memo of the last segment a query landed in: consecutive queries
+        # cluster in time, so most lookups skip the bisect entirely.
+        self._cached_index: int = 0
         self._append_segment(Waypoint(0.0, 0.0, start, start))
 
     # ------------------------------------------------------------------ #
@@ -119,22 +122,38 @@ class RandomWaypoint(MobilityModel):
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    def _segment_index(self, time: float) -> int:
+        """Index of the segment covering ``time`` (trajectory must cover it).
+
+        Checks the memoised index first; a hit means ``time`` falls in the
+        half-open span ``[starts[i], starts[i+1])``, which is exactly the
+        segment ``bisect_right(starts, time) - 1`` would select, so the
+        fast path can never disagree with the search it replaces.
+        """
+        starts = self._segment_starts
+        index = self._cached_index
+        if (index + 1 < len(starts)
+                and starts[index] <= time < starts[index + 1]):
+            return index
+        index = bisect.bisect_right(starts, time) - 1
+        if index < 0:
+            index = 0
+        self._cached_index = index
+        return index
+
     def position(self, time: float) -> Tuple[float, float]:
         if time < 0:
             time = 0.0
         if time >= self._trajectory_end:
             self._extend_to(time + self._EXTEND_CHUNK)
-        index = bisect.bisect_right(self._segment_starts, time) - 1
-        index = max(index, 0)
-        return self._segments[index].position(time)
+        return self._segments[self._segment_index(time)].position(time)
 
     def speed_at(self, time: float) -> float:
         if time < 0:
             time = 0.0
         if time >= self._trajectory_end:
             self._extend_to(time + self._EXTEND_CHUNK)
-        index = max(bisect.bisect_right(self._segment_starts, time) - 1, 0)
-        seg = self._segments[index]
+        seg = self._segments[self._segment_index(time)]
         duration = seg.end_time - seg.start_time
         if duration <= 0:
             return 0.0

@@ -73,6 +73,10 @@ class WirelessChannel:
         self.transmissions: int = 0
         #: Count of spatial-index rebuilds (instrumentation).
         self.grid_rebuilds: int = 0
+        #: Sum / maximum of candidate-set sizes over all transmissions
+        #: (instrumentation; candidate sets include the sender itself).
+        self.candidate_total: int = 0
+        self.candidate_max: int = 0
         # Spatial index state (see _ensure_grid).
         self._grid: Dict[Tuple[int, int], List[int]] = {}
         self._grid_time: Optional[float] = None
@@ -180,6 +184,34 @@ class WirelessChannel:
         return out
 
     # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def grid_stats(self) -> Dict[str, float]:
+        """Occupancy / density diagnostics of the current spatial index.
+
+        Returns a JSON-compatible dictionary covering the grid shape
+        (cells used, max/mean interfaces per cell) plus the running
+        candidate-set statistics of the transmit path.  All values refer
+        to the most recently built grid; an empty dict's worth of zeros is
+        returned before the first build.
+        """
+        occupancies = [len(indices) for indices in self._grid.values()]
+        cells_used = len(occupancies)
+        return {
+            "interfaces": len(self._interfaces),
+            "cell_size_m": self._grid_cell_size,
+            "cells_used": cells_used,
+            "max_occupancy": max(occupancies, default=0),
+            "mean_occupancy": (sum(occupancies) / cells_used
+                               if cells_used else 0.0),
+            "grid_rebuilds": self.grid_rebuilds,
+            "transmissions": self.transmissions,
+            "mean_candidate_set": (self.candidate_total / self.transmissions
+                                   if self.transmissions else 0.0),
+            "max_candidate_set": self.candidate_max,
+        }
+
+    # ------------------------------------------------------------------ #
     # transmission
     # ------------------------------------------------------------------ #
     def transmit(self, sender: "WirelessInterface", packet: "Packet",
@@ -189,26 +221,45 @@ class WirelessChannel:
         Every other interface within decode range receives a (possibly
         colliding) copy; interfaces between decode range and detection
         range only sense energy (their carrier sense goes busy) but cannot
-        decode the frame.
+        decode the frame.  Only decodable receptions get their own deep
+        copy of the frame: a sense-only reception is never delivered to
+        the MAC (the interface only reads the immutable ``uid`` / ``kind``
+        fields for trace logging), so those receivers share the sender's
+        packet instead of paying for a copy.
         """
         now = self.sim.now
         self.transmissions += 1
         self._ensure_grid(now)
         sender_index = self._interface_index[sender]
         sender_pos = sender.node.position(now)
+        sender_id = sender.node.node_id
         rng = self.sim.rng("propagation")
-        detect_limit = self.propagation.detection_range()
-        for index in self._candidate_indices(sender_pos):
+        # Hoisted out of the candidate loop: propagation constants and
+        # bound methods, the interface table, and the scheduler entry.
+        propagation = self.propagation
+        detect_limit = propagation.detection_range()
+        in_range = propagation.in_range
+        prop_delay = propagation.delay
+        interfaces = self._interfaces
+        schedule = self.sim.schedule
+        hypot = math.hypot
+        sx, sy = sender_pos
+        candidates = self._candidate_indices(sender_pos)
+        n_candidates = len(candidates)
+        self.candidate_total += n_candidates
+        if n_candidates > self.candidate_max:
+            self.candidate_max = n_candidates
+        for index in candidates:
             if index == sender_index:
                 continue
-            receiver = self._interfaces[index]
-            d = self.distance(sender_pos, receiver.node.position(now))
+            receiver = interfaces[index]
+            rx, ry = receiver.node.position(now)
+            d = hypot(rx - sx, ry - sy)
             if d > detect_limit:
                 continue
-            decodable = self.propagation.in_range(d, rng)
-            delay = self.propagation.delay(d)
-            # Copy per receiver so header mutations at one receiver never
-            # alias another receiver's view of the frame.
-            frame = packet.copy()
-            self.sim.schedule(delay, receiver.begin_reception, frame,
-                              duration, decodable, sender.node.node_id)
+            decodable = in_range(d, rng)
+            # Copy per decodable receiver so header mutations at one
+            # receiver never alias another receiver's view of the frame.
+            frame = packet.copy() if decodable else packet
+            schedule(prop_delay(d), receiver.begin_reception, frame,
+                     duration, decodable, sender_id)

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Reception:
     """One ongoing reception at an interface."""
 

@@ -55,6 +55,14 @@ class Node:
         self.transport_agents: Dict[int, Any] = {}
         self.applications: list = []
 
+        # Position memo: mobility positions are pure functions of time, so
+        # the last (time, position) pair answers repeated queries at the
+        # same timestamp (grid rebuilds, per-receiver distance checks in
+        # WirelessChannel.transmit) without re-walking the trajectory.
+        # NaN never compares equal, so the cache starts cold.
+        self._position_time: float = float("nan")
+        self._position: tuple = (0.0, 0.0)
+
         #: True when this node passively records every frame it can decode
         #: (the paper's eavesdropper).  The actual recording is done by the
         #: security monitor; the flag makes the MAC run in promiscuous mode.
@@ -100,7 +108,12 @@ class Node:
             return (0.0, 0.0)
         if time is None:
             time = self.sim.now
-        return self.mobility.position(time)
+        if time == self._position_time:
+            return self._position
+        position = self.mobility.position(time)
+        self._position_time = time
+        self._position = position
+        return position
 
     def distance_to(self, other: "Node", time: Optional[float] = None) -> float:
         """Euclidean distance to ``other`` at ``time`` (default: now)."""

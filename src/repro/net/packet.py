@@ -80,6 +80,33 @@ def _next_uid() -> int:
     return next(_uid_counter)
 
 
+#: Types whose instances are immutable: sharing them between packet copies
+#: is indistinguishable from deep-copying them (deepcopy returns the very
+#: same object for these).
+_ATOMIC_TYPES = (int, float, str, bytes, bool, type(None))
+
+
+def _clone_header(header: Any) -> Any:
+    """Deep-copy one protocol header, cheaply where the type allows.
+
+    The protocol headers used by this package (routing headers, the TCP
+    header) provide a hand-written ``clone()`` that knows its own field
+    structure, which is far faster than generic :func:`copy.deepcopy`.
+    Plain dict headers (MAC NAV/ACK bookkeeping, ad-hoc test headers) are
+    rebuilt key by key, sharing immutable values and deep-copying the
+    rest.  Anything else falls back to ``deepcopy``, so the semantics are
+    always those of a deep copy.
+    """
+    clone = getattr(header, "clone", None)
+    if clone is not None:
+        return clone()
+    if type(header) is dict:
+        return {key: (value if type(value) in _ATOMIC_TYPES
+                      else _copy.deepcopy(value))
+                for key, value in header.items()}
+    return _copy.deepcopy(header)
+
+
 class Packet:
     """A simulated packet.
 
@@ -190,9 +217,10 @@ class Packet:
 
         Forwarding a packet through several nodes that may hold it
         concurrently (e.g. flooding) must not alias header objects, so
-        headers are deep-copied.  The uid is preserved unless
-        ``new_uid=True`` because it identifies the logical datum for the
-        delivery and interception metrics.
+        headers are deep-copied (via each header's ``clone()`` where
+        available — see :func:`_clone_header`).  The uid is preserved
+        unless ``new_uid=True`` because it identifies the logical datum
+        for the delivery and interception metrics.
         """
         clone = Packet.__new__(Packet)
         clone.uid = _next_uid() if new_uid else self.uid
@@ -208,7 +236,8 @@ class Packet:
         clone.mac_dst = self.mac_dst
         clone.prev_hop = self.prev_hop
         clone.hop_count = self.hop_count
-        clone.headers = _copy.deepcopy(self.headers)
+        clone.headers = {name: _clone_header(header)
+                         for name, header in self.headers.items()}
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -71,6 +71,12 @@ class RreqHeader:
         """Key identifying this flood for duplicate suppression."""
         return (self.origin, self.broadcast_id)
 
+    def clone(self) -> "RreqHeader":
+        """Deep copy (all fields are scalars except the int list)."""
+        return RreqHeader(self.origin, self.target, self.broadcast_id,
+                          self.origin_seq, self.target_seq, self.hop_count,
+                          list(self.path))
+
 
 @dataclasses.dataclass
 class RrepHeader:
@@ -86,6 +92,12 @@ class RrepHeader:
     #: True when an intermediate node answered from its cache (DSR/AODV
     #: optimisation, never used by MTS).
     from_cache: bool = False
+
+    def clone(self) -> "RrepHeader":
+        """Deep copy (all fields are scalars except the int list)."""
+        return RrepHeader(self.origin, self.target, self.reply_id,
+                          self.target_seq, self.hop_count, list(self.path),
+                          self.from_cache)
 
 
 @dataclasses.dataclass
@@ -103,6 +115,11 @@ class RerrHeader:
     #: The data-packet source this error is being routed back to, when the
     #: protocol unicasts errors (DSR/MTS); ``None`` for broadcast RERRs.
     target_origin: Optional[int] = None
+
+    def clone(self) -> "RerrHeader":
+        """Deep copy (the int tuple is immutable and safely shared)."""
+        return RerrHeader(self.reporter, self.broken_link,
+                          dict(self.unreachable), self.target_origin)
 
 
 @dataclasses.dataclass
@@ -131,6 +148,10 @@ class SourceRouteHeader:
         """Hops left until the destination."""
         return len(self.path) - 1 - self.index
 
+    def clone(self) -> "SourceRouteHeader":
+        """Deep copy (``path`` holds only ints)."""
+        return SourceRouteHeader(list(self.path), self.index)
+
 
 @dataclasses.dataclass
 class CheckHeader:
@@ -158,6 +179,11 @@ class CheckHeader:
     path: List[int] = dataclasses.field(default_factory=list)
     hop_count: int = 0
 
+    def clone(self) -> "CheckHeader":
+        """Deep copy (``path`` holds only ints)."""
+        return CheckHeader(self.check_id, self.origin, self.target,
+                           list(self.path), self.hop_count)
+
 
 @dataclasses.dataclass
 class CheckErrHeader:
@@ -169,3 +195,8 @@ class CheckErrHeader:
     #: The path whose check failed (forward order, origin → destination).
     failed_path: List[int] = dataclasses.field(default_factory=list)
     broken_link: Tuple[int, int] = (0, 0)
+
+    def clone(self) -> "CheckErrHeader":
+        """Deep copy (the int tuple is immutable and safely shared)."""
+        return CheckErrHeader(self.check_id, self.reporter, self.target,
+                              list(self.failed_path), self.broken_link)

@@ -1,20 +1,26 @@
 """The discrete-event simulation engine.
 
 The :class:`Simulator` is deliberately small: a binary heap of
-:class:`~repro.sim.events.Event` objects, a clock, and a handful of run
-controls.  All network models (channel, MAC, routing agents, TCP) schedule
-work through it, which is exactly the structure of the NS-2 scheduler the
-paper's evaluation relied on.
+``(time, priority, sequence, event)`` entries, a clock, and a handful of
+run controls.  All network models (channel, MAC, routing agents, TCP)
+schedule work through it, which is exactly the structure of the NS-2
+scheduler the paper's evaluation relied on.
 
 Design notes
 ------------
 * Events firing at the same timestamp are ordered by ``(priority,
   insertion sequence)``, so a run is bit-for-bit reproducible for a given
-  scenario seed.
+  scenario seed.  The ordering key is carried by the heap entry tuple —
+  compared entirely in C, with the unique sequence number guaranteeing the
+  comparison never falls through to the event object.
 * Cancellation is lazy: cancelled events stay in the heap and are skipped
   when popped.  This keeps :meth:`Simulator.cancel` O(1), which matters
   because MAC ACK timeouts and TCP retransmission timers are cancelled far
-  more often than they fire.
+  more often than they fire.  To stop long runs from drowning in that
+  garbage, the heap is compacted (rebuilt without cancelled entries) once
+  cancelled events make up at least half of a non-trivially-sized heap;
+  compaction preserves the ``(time, priority, sequence)`` order exactly,
+  so results are unaffected.
 * The engine never sleeps or busy-waits; simulated time advances only by
   popping events, so an idle network costs nothing.
 """
@@ -22,11 +28,14 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
+
+#: Type of one heap entry; the leading triple is the full ordering key.
+HeapEntry = Tuple[float, int, int, Event]
 
 
 class SimulationError(RuntimeError):
@@ -59,13 +68,25 @@ class Simulator:
     #: priority used for the internal stop event so same-time work finishes.
     _STOP_PRIORITY = 1 << 30
 
+    #: Compaction is considered only once at least this many cancelled
+    #: events sit in the heap (tiny heaps are cheap to pop through).
+    _COMPACT_MIN_GARBAGE = 256
+    #: ... and triggers once cancelled entries reach this fraction of the
+    #: heap.  At one half, compaction work is O(live events) amortised.
+    _COMPACT_GARBAGE_FRACTION = 0.5
+
     def __init__(self, seed: Optional[int] = None, trace: bool = False):
         self._now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[HeapEntry] = []
         self._sequence: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self._processed: int = 0
+        self._cancelled_in_heap: int = 0
+        #: Number of times the heap was rebuilt to shed cancelled garbage.
+        self.heap_compactions: int = 0
+        #: High-water mark of the heap size (live + cancelled entries).
+        self.peak_heap_size: int = 0
         self.rngs = RngRegistry(seed)
         self.trace: Optional[TraceLog] = TraceLog() if trace else None
 
@@ -84,7 +105,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of *live* (non-cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries (live + cancelled garbage)."""
         return len(self._heap)
 
     # ------------------------------------------------------------------ #
@@ -110,11 +141,26 @@ class Simulator:
         priority: int = 0,
         **kwargs: Any,
     ) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Inlines the push instead of delegating to :meth:`schedule_at`:
+        this is the single hottest call in a simulation, and a
+        non-negative delay already guarantees the clock invariant that
+        ``schedule_at`` would re-check.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args,
-                                priority=priority, **kwargs)
+        # float() guards the clock: a numpy scalar delay must not leak
+        # into heap keys and eventually self._now (schedule_at coerces too).
+        time = float(self._now + delay)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, args, kwargs)
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, sequence, event))
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -124,29 +170,54 @@ class Simulator:
         priority: int = 0,
         **kwargs: Any,
     ) -> EventHandle:
-        """Schedule ``callback`` at absolute simulation time ``time``."""
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        This is the engine's hottest entry point, so it validates only the
+        clock invariant.  A non-callable ``callback`` is not rejected here;
+        it surfaces as a ``TypeError`` when the event fires.
+        """
+        time = float(time)
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before now={self._now!r}"
             )
-        if not callable(callback):
-            raise SimulationError(f"callback {callback!r} is not callable")
-        event = Event(
-            time=float(time),
-            priority=priority,
-            sequence=self._sequence,
-            callback=callback,
-            args=args,
-            kwargs=kwargs,
-        )
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, args, kwargs)
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, sequence, event))
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
+        return EventHandle(event, self)
 
     def cancel(self, handle: Optional[EventHandle]) -> None:
         """Cancel a previously scheduled event.  ``None`` is ignored."""
         if handle is not None:
             handle.cancel()
+
+    # ------------------------------------------------------------------ #
+    # heap maintenance
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Account for a newly-cancelled in-heap event; maybe compact."""
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap >= self._COMPACT_MIN_GARBAGE
+                and self._cancelled_in_heap
+                >= self._COMPACT_GARBAGE_FRACTION * len(self._heap)):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Safe to run at any point between event pops: entries are ordered
+        by their full ``(time, priority, sequence)`` key, so re-heapifying
+        the surviving entries reproduces the exact pop order the lazy
+        deletion path would have produced.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.heap_compactions += 1
 
     # ------------------------------------------------------------------ #
     # run control
@@ -168,22 +239,30 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired_this_run = 0
+        heappop = heapq.heappop
         try:
+            # self._heap is re-read every iteration: a cancellation inside
+            # a callback may compact the heap, swapping in a fresh list.
             while self._heap:
                 if self._stopped:
                     break
-                event = heapq.heappop(self._heap)
+                entry = heappop(self._heap)
+                event = entry[3]
+                event.popped = True
                 if event.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     # Put it back: callers may resume the run later.
-                    heapq.heappush(self._heap, event)
+                    event.popped = False
+                    heapq.heappush(self._heap, entry)
                     self._now = until
                     break
-                if event.time < self._now:  # pragma: no cover - invariant
+                if time < self._now:  # pragma: no cover - invariant
                     raise SimulationError("event time went backwards")
-                self._now = event.time
-                event.fire()
+                self._now = time
+                event.callback(*event.args, **event.kwargs)
                 self._processed += 1
                 fired_this_run += 1
                 if max_events is not None and fired_this_run >= max_events:
@@ -199,5 +278,5 @@ class Simulator:
         self._stopped = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return (f"<Simulator t={self._now:.6f} pending={len(self._heap)} "
+        return (f"<Simulator t={self._now:.6f} pending={self.pending_events} "
                 f"processed={self._processed}>")

@@ -5,15 +5,24 @@ engine orders them by ``(time, priority, sequence)`` where ``sequence`` is a
 monotonically increasing insertion counter — this makes event ordering fully
 deterministic even when many events share a timestamp, which matters for
 reproducibility of MAC contention and route-discovery races.
+
+The ordering key lives on the *heap entry* (a plain
+``(time, priority, sequence, event)`` tuple built by the engine), not on
+the event object: tuple comparison is handled entirely in C and the unique
+sequence number guarantees the tie-break never falls through to comparing
+:class:`Event` objects themselves.  ``Event`` is a ``__slots__`` class
+rather than a dataclass — attribute access is what the run loop spends its
+time on, and slots cut both the per-event memory and the lookup cost.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Callable
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
 
 
-@dataclasses.dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -32,35 +41,51 @@ class Event:
         The work to perform.  Not part of the ordering key.
     cancelled:
         Set by :meth:`EventHandle.cancel`; cancelled events are skipped
-        (lazy deletion) rather than removed from the heap.
+        (lazy deletion) rather than removed from the heap — though the
+        engine rebuilds the heap without them once the garbage fraction
+        grows too large (see ``Simulator._compact_heap``).
+    popped:
+        Set by the engine when the event leaves the heap (fired or
+        discarded), so cancelling a handle after the fact does not count
+        towards the heap's garbage statistics.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., Any] = dataclasses.field(compare=False)
-    args: tuple = dataclasses.field(default=(), compare=False)
-    kwargs: dict = dataclasses.field(default_factory=dict, compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "args",
+                 "kwargs", "cancelled", "popped")
 
-    def fire(self) -> None:
-        """Invoke the callback unless the event has been cancelled."""
-        if not self.cancelled:
-            self.callback(*self.args, **self.kwargs)
+    def __init__(self, time: float, priority: int, sequence: int,
+                 callback: Callable[..., Any], args: tuple = (),
+                 kwargs: Optional[dict] = None):
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+        self.cancelled = False
+        self.popped = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"<Event t={self.time:.6f} prio={self.priority} "
+                f"seq={self.sequence} {state}>")
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`.
 
     Allows callers to cancel a pending event and to query whether it is
-    still pending.  Handles are cheap; they only hold a reference to the
-    underlying :class:`Event`.
+    still pending.  Handles are cheap; they hold the underlying
+    :class:`Event` plus the owning simulator so that cancellations can be
+    counted towards the heap's garbage statistics (which drive heap
+    compaction).
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, sim: Optional["Simulator"] = None):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -74,7 +99,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event.  Idempotent; safe to call after it fired."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            # Only count events still sitting in the heap as garbage.
+            if self._sim is not None and not event.popped:
+                self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.cancelled else "pending"

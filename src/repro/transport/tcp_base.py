@@ -45,6 +45,11 @@ class TcpHeader:
     is_retransmission: bool = False
     is_ack: bool = False
 
+    def clone(self) -> "TcpHeader":
+        """Deep copy (every field is an immutable scalar)."""
+        return TcpHeader(self.seqno, self.ackno, self.ts, self.ts_echo,
+                         self.is_retransmission, self.is_ack)
+
 
 @dataclasses.dataclass
 class TcpConfig:

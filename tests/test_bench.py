@@ -1,0 +1,110 @@
+"""Tests for the ``repro.bench`` perf-tracking subsystem and its CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_PROFILES,
+    BenchCase,
+    BenchReport,
+    bench_profile,
+    run_case,
+    run_profile,
+)
+from repro.cli import bench as bench_cli
+from repro.scenario.config import ScenarioConfig
+
+
+def test_all_profiles_are_well_formed():
+    assert set(BENCH_PROFILES) == {"tiny", "smoke", "dense", "sparse",
+                                   "scale"}
+    for name in BENCH_PROFILES:
+        profile = bench_profile(name)
+        assert profile.name == name
+        assert profile.cases, f"profile {name} has no cases"
+        case_names = [case.name for case in profile.cases]
+        assert len(case_names) == len(set(case_names))
+        for case in profile.cases:
+            assert isinstance(case.config, ScenarioConfig)
+            # Benchmark workloads are pinned so numbers are comparable.
+            assert case.config.seed == 7
+
+
+def test_unknown_profile_rejected_with_known_names():
+    with pytest.raises(ValueError, match="tiny"):
+        bench_profile("warp9")
+
+
+def test_dense_and_sparse_match_the_sweep_profiles():
+    from repro.experiments import SweepSettings
+    dense = bench_profile("dense")
+    assert {case.config.n_nodes for case in dense.cases} == {100}
+    assert dense.cases[0].config.field_size == \
+        SweepSettings.dense().cell_config("MTS", 10.0, 0).field_size
+    sparse = bench_profile("sparse")
+    assert sparse.cases[0].config.field_size == (2000.0, 2000.0)
+
+
+def test_run_case_measures_kernel_counters():
+    case = BenchCase(name="probe",
+                     config=ScenarioConfig.tiny(protocol="AODV", seed=7))
+    result = run_case(case)
+    assert result.protocol == "AODV"
+    assert result.n_nodes == 10
+    assert result.events > 0
+    assert result.wall_time_s > 0
+    assert result.events_per_sec > 0
+    assert result.peak_heap_size > 0
+    assert result.heap_compactions >= 0
+    assert result.transmissions > 0
+    assert result.grid["grid_rebuilds"] >= 1
+    assert result.grid["cells_used"] >= 1
+    assert result.grid["max_candidate_set"] >= 1
+    # The measurement dict must round-trip through JSON unchanged.
+    assert json.loads(json.dumps(result.to_dict())) == result.to_dict()
+
+
+def test_run_profile_report_roundtrip(tmp_path):
+    report = run_profile(bench_profile("tiny"))
+    assert report.profile == "tiny"
+    assert len(report.cases) == 2
+    totals = report.totals()
+    assert totals["events"] == sum(case.events for case in report.cases)
+    assert totals["events_per_sec"] > 0
+    path = report.save(tmp_path)
+    assert path.name == "BENCH_tiny.json"
+    reloaded = BenchReport.load(path)
+    assert reloaded.to_dict() == report.to_dict()
+
+
+def test_bench_workload_is_deterministic():
+    """Event counts (not timings) must be identical across runs."""
+    case = bench_profile("tiny").cases[0]
+    first = run_case(case)
+    second = run_case(case)
+    assert first.events == second.events
+    assert first.transmissions == second.transmissions
+    assert first.peak_heap_size == second.peak_heap_size
+    assert first.grid["grid_rebuilds"] == second.grid["grid_rebuilds"]
+
+
+def test_cli_list(capsys):
+    assert bench_cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in BENCH_PROFILES:
+        assert name in out
+
+
+def test_cli_runs_profile_and_writes_artifact(tmp_path, capsys):
+    assert bench_cli.main(["--profile", "tiny",
+                           "--out-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ev/s" in out and "wrote" in out
+    payload = json.loads((tmp_path / "BENCH_tiny.json").read_text())
+    assert payload["profile"] == "tiny"
+    assert payload["totals"]["events"] > 0
+    assert {case["name"] for case in payload["cases"]} == \
+        {"mts_tiny", "aodv_tiny"}

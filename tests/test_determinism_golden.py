@@ -1,0 +1,37 @@
+"""Golden-digest determinism test for the optimized simulation kernel.
+
+The PR-3 kernel optimizations (``__slots__``/tuple-keyed event heap, heap
+compaction, position memoisation, hand-rolled header clones, sense-only
+copy elision) are required to be **bit-for-bit** behaviour-preserving:
+the serialized :class:`~repro.experiments.SweepResult` of
+``SweepSettings.smoke()`` must be byte-identical to what the seed kernel
+produced.  The reference digest below was recorded by running this exact
+sweep on the pre-PR-3 kernel (commit 3385e6c).
+
+If this test fails, the kernel's behaviour changed.  Either find the
+regression, or — if the change is intentional — record the new digest
+AND bump ``repro.version.__version__`` so stale cache entries are
+invalidated (see README "Reproducibility contract").
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.experiments import SweepSettings, run_speed_sweep
+
+#: sha256 of SweepResult.to_json() for SweepSettings.smoke() on the seed
+#: kernel (recorded before any PR-3 kernel change).
+SMOKE_SWEEP_SHA256 = (
+    "15879a1fe19681d79318d28a11070c6390ab34eaa74f5fa10d71be5a913ce399"
+)
+
+
+def test_smoke_sweep_matches_seed_kernel_digest():
+    payload = run_speed_sweep(SweepSettings.smoke()).to_json()
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    assert digest == SMOKE_SWEEP_SHA256, (
+        "optimized kernel diverged from the seed kernel: the serialized "
+        "smoke SweepResult is no longer byte-identical (see this test's "
+        "docstring for what to do)"
+    )

@@ -250,3 +250,60 @@ def test_receiver_gets_independent_packet_copy():
     assert received_1 is not packet and received_2 is not packet
     received_1.get_header("route")["path"].append(99)
     assert received_2.get_header("route")["path"] == [0, 1]
+    # The sender's own view is isolated from receiver mutations too.
+    assert packet.get_header("route")["path"] == [0, 1]
+
+
+def test_sense_only_receivers_share_frame_without_copy(monkeypatch):
+    """Copy elision: receivers in the sense-only zone (between decode and
+    detection range) never surface the frame to the MAC, so the channel
+    must not pay a deep copy for them — only decodable receivers get one."""
+    sim = Simulator(seed=1)
+    propagation = RangePropagation(250.0, carrier_sense_factor=2.0)
+    # Node 1 decodes (100 m); nodes 2 and 3 are sense-only (300/400 m).
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (300, 0), (400, 0)],
+                                 propagation=propagation)
+    copies = []
+    original_copy = Packet.copy
+
+    def counting_copy(self, new_uid=False):
+        copies.append(self)
+        return original_copy(self, new_uid)
+
+    monkeypatch.setattr(Packet, "copy", counting_copy)
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    assert len(copies) == 1  # one decodable receiver, zero sense-only copies
+    assert len(macs[1].received) == 1
+    assert macs[2].received == [] and macs[3].received == []
+    assert nodes[2].interface.frames_collided == 1
+    assert nodes[3].interface.frames_collided == 1
+
+
+def test_grid_stats_reports_occupancy_and_candidate_sizes():
+    sim = Simulator(seed=1)
+    # Cell size is 375 m: three nodes in one cell, one far away.
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0), (200, 0),
+                                       (2000, 0)])
+    nodes[0].interface.transmit(frame(), duration=0.01)
+    sim.run()
+    stats = channel.grid_stats()
+    assert stats["interfaces"] == 4
+    assert stats["cells_used"] == 2
+    assert stats["max_occupancy"] == 3
+    assert stats["mean_occupancy"] == 2.0
+    assert stats["grid_rebuilds"] == 1
+    assert stats["transmissions"] == 1
+    # The sender's 3x3 block holds exactly the three clustered nodes.
+    assert stats["mean_candidate_set"] == 3.0
+    assert stats["max_candidate_set"] == 3
+
+
+def test_grid_stats_before_any_transmission_is_all_zeros():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = build(sim, [(0, 0), (100, 0)])
+    stats = channel.grid_stats()
+    assert stats["transmissions"] == 0
+    assert stats["cells_used"] == 0
+    assert stats["mean_candidate_set"] == 0.0
+    assert stats["mean_occupancy"] == 0.0

@@ -109,3 +109,30 @@ def test_validate_node_id():
         validate_node_id(True)
     with pytest.raises(ValueError):
         validate_node_id("3")  # type: ignore[arg-type]
+
+
+def test_copy_uses_header_clone_and_preserves_deepcopy_semantics():
+    """Packet.copy dispatches to header.clone() where available and must
+    stay equivalent to the historical deepcopy for every header shape."""
+    from repro.routing.packets import SourceRouteHeader
+    from repro.transport.tcp_base import TcpHeader
+
+    packet = make_packet()
+    packet.set_header("srcroute", SourceRouteHeader(path=[1, 2, 3], index=0))
+    packet.set_header("tcp", TcpHeader(seqno=7, ts=1.25))
+    packet.set_header("nav", {"duration": 0.5, "kind": "rts"})
+    packet.set_header("odd", {"nested": {"list": [1]}})
+
+    clone = packet.copy()
+    assert clone.get_header("srcroute") == packet.get_header("srcroute")
+    assert clone.get_header("srcroute") is not packet.get_header("srcroute")
+    assert clone.get_header("tcp") == packet.get_header("tcp")
+
+    clone.get_header("srcroute").advance()
+    clone.get_header("tcp").seqno = 99
+    clone.get_header("nav")["duration"] = 9.9
+    clone.get_header("odd")["nested"]["list"].append(2)
+    assert packet.get_header("srcroute").index == 0
+    assert packet.get_header("tcp").seqno == 7
+    assert packet.get_header("nav")["duration"] == 0.5
+    assert packet.get_header("odd")["nested"]["list"] == [1]

@@ -72,3 +72,42 @@ def test_check_err_header_fields():
                             failed_path=[0, 3, 9], broken_link=(3, 9))
     assert header.failed_path[0] == 0
     assert header.broken_link == (3, 9)
+
+
+def test_clone_deep_copies_every_header_type():
+    """Every header's hand-rolled clone() must behave like deepcopy:
+    equal values, isolated mutable containers."""
+    headers = [
+        RreqHeader(origin=1, target=2, broadcast_id=3, origin_seq=4,
+                   target_seq=5, hop_count=2, path=[1, 7]),
+        RrepHeader(origin=1, target=2, reply_id=3, target_seq=4,
+                   hop_count=2, path=[1, 7, 2], from_cache=True),
+        RerrHeader(reporter=5, broken_link=(5, 6), unreachable={2: 9},
+                   target_origin=1),
+        SourceRouteHeader(path=[1, 7, 2], index=1),
+        CheckHeader(check_id=3, origin=1, target=2, path=[1, 7, 2],
+                    hop_count=1),
+        CheckErrHeader(check_id=3, reporter=7, target=2,
+                       failed_path=[1, 7, 2], broken_link=(7, 2)),
+    ]
+    for header in headers:
+        clone = header.clone()
+        assert clone == header
+        assert clone is not header
+
+
+def test_clone_isolates_mutable_fields():
+    rreq = RreqHeader(origin=1, target=2, broadcast_id=3, path=[1])
+    rreq.clone().path.append(9)
+    assert rreq.path == [1]
+
+    rerr = RerrHeader(reporter=5, broken_link=(5, 6), unreachable={2: 9})
+    rerr.clone().unreachable[3] = 1
+    assert rerr.unreachable == {2: 9}
+
+    route = SourceRouteHeader(path=[1, 2, 3], index=0)
+    clone = route.clone()
+    clone.advance()
+    clone.path.append(4)
+    assert route.index == 0
+    assert route.path == [1, 2, 3]

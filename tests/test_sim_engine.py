@@ -138,10 +138,13 @@ def test_scheduling_in_the_past_rejected():
         sim.schedule_at(0.5, lambda: None)
 
 
-def test_non_callable_rejected():
+def test_non_callable_fails_at_fire_time():
+    # schedule_at no longer validates the callback (hot path); a bogus
+    # callback surfaces as a TypeError when the event fires.
     sim = Simulator(seed=1)
-    with pytest.raises(SimulationError):
-        sim.schedule(1.0, "not callable")
+    sim.schedule(1.0, "not callable")
+    with pytest.raises(TypeError):
+        sim.run()
 
 
 def test_processed_event_counter():
@@ -158,6 +161,85 @@ def test_run_with_empty_heap_advances_to_until():
     assert sim.now == 4.2
 
 
+def test_pending_events_excludes_cancelled_garbage():
+    sim = Simulator(seed=1)
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+    handles[1].cancel()
+    assert sim.pending_events == 2
+    assert sim.cancelled_pending == 1
+    assert sim.heap_size == 3
+
+
+def test_cancel_after_fire_does_not_count_as_garbage():
+    sim = Simulator(seed=1)
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # idempotent, documented as safe after firing
+    assert sim.cancelled_pending == 0
+    assert sim.pending_events == 0
+
+
+def test_heap_compaction_sheds_cancelled_garbage():
+    sim = Simulator(seed=1)
+    fired = []
+    keep, cancel = [], []
+    for i in range(1000):
+        handle = sim.schedule(1.0 + i * 1e-3, fired.append, i)
+        (cancel if i % 2 else keep).append((i, handle))
+    for _i, handle in cancel:
+        handle.cancel()
+    # 500 cancelled >= _COMPACT_MIN_GARBAGE and >= half the heap.
+    assert sim.heap_compactions >= 1
+    assert sim.cancelled_pending == 0
+    assert sim.heap_size == sim.pending_events == len(keep)
+    sim.run()
+    assert fired == [i for i, _handle in keep]
+
+
+def test_compaction_preserves_same_time_ordering():
+    sim = Simulator(seed=1)
+    # Force the fraction threshold to be reachable with a small heap.
+    sim._COMPACT_MIN_GARBAGE = 1
+    fired = []
+    handles = [sim.schedule(1.0, fired.append, i,
+                            priority=(-1 if i % 3 == 0 else 0))
+               for i in range(30)]
+    cancelled = set(range(12, 28))  # 16 of 30 >= the half-heap threshold
+    for i in cancelled:
+        handles[i].cancel()
+    assert sim.heap_compactions >= 1
+    sim.run()
+    survivors = [i for i in range(30) if i not in cancelled]
+    expected = ([i for i in survivors if i % 3 == 0]
+                + [i for i in survivors if i % 3 != 0])
+    assert fired == expected
+
+
+def test_cancelled_events_never_fire_after_compaction():
+    sim = Simulator(seed=1)
+    sim._COMPACT_MIN_GARBAGE = 1
+    fired = []
+    handles = [sim.schedule(float(i + 1), fired.append, i) for i in range(10)]
+    for i in range(0, 10, 2):
+        handles[i].cancel()
+    assert sim.heap_compactions >= 1
+    # Cancelling an already-compacted-away handle again is harmless.
+    handles[0].cancel()
+    sim.run()
+    assert fired == [1, 3, 5, 7, 9]
+    assert sim.cancelled_pending == 0
+
+
+def test_peak_heap_size_tracks_high_water_mark():
+    sim = Simulator(seed=1)
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    assert sim.peak_heap_size == 5
+    sim.run()
+    assert sim.peak_heap_size == 5
+    assert sim.heap_size == 0
+
+
 def test_kwargs_are_passed_to_callbacks():
     sim = Simulator(seed=1)
     received = {}
@@ -169,3 +251,13 @@ def test_kwargs_are_passed_to_callbacks():
     sim.schedule(1.0, callback, 1, b="two")
     sim.run()
     assert received == {"a": 1, "b": "two"}
+
+
+def test_numpy_scalar_delay_does_not_poison_the_clock():
+    import numpy as np
+
+    sim = Simulator(seed=1)
+    sim.schedule(np.float64(0.5), lambda: None)
+    sim.schedule_at(np.float64(1.5), lambda: None)
+    sim.run()
+    assert type(sim.now) is float
