@@ -17,12 +17,15 @@ normalisation walkthrough.  The canned grid profiles of
 
 Execution is pluggable: ``--workers N`` fans the independent grid cells
 out over N worker processes (results are bit-for-bit identical to the
-serial run), ``--cache DIR`` reuses previously simulated cells from an
-on-disk result cache (so regenerating figures after an interrupted or
-repeated run only simulates what is missing), and ``--save-json PATH``
-writes the whole sweep as a durable JSON artifact.  ``--from-artifact
-PATH`` re-renders everything from such an artifact with **zero**
-simulations (see also ``repro-sweep render``).
+serial run), ``--scheduler K`` instead routes the grid through the
+streaming shard scheduler (cache-aware pre-filtering plus rebalancing
+after worker deaths; see ``repro-sweep run --scheduler``), ``--cache
+DIR`` reuses previously simulated cells from an on-disk result cache (so
+regenerating figures after an interrupted or repeated run only simulates
+what is missing), and ``--save-json PATH`` writes the whole sweep as a
+durable JSON artifact.  ``--from-artifact PATH`` re-renders everything
+from such an artifact with **zero** simulations (see also ``repro-sweep
+render``).
 
 Usage::
 
@@ -37,7 +40,12 @@ import argparse
 import sys
 import time
 
-from repro.exec import add_executor_options, executor_from_args
+from repro.exec import (
+    ClusterExecutor,
+    add_executor_options,
+    build_executor,
+    executor_from_args,
+)
 from repro.experiments import (
     FIGURES,
     SweepResult,
@@ -84,6 +92,13 @@ def main() -> None:
     parser.add_argument("--skip-table1", action="store_true",
                         help="skip the Table I walkthrough run")
     add_executor_options(parser)
+    parser.add_argument("--scheduler", type=int, metavar="K", default=None,
+                        help="run the sweep through the streaming shard "
+                             "scheduler with K worker shards instead of "
+                             "--workers (cache-aware, crash-rebalancing)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="extra scheduling rounds after worker failures "
+                             "(scheduler mode only; default 2)")
     parser.add_argument("--save-json", metavar="PATH", default=None,
                         help="write the full sweep (settings + every run) "
                              "to PATH as JSON")
@@ -91,12 +106,30 @@ def main() -> None:
                         help="re-render figures from a sweep artifact "
                              "written by --save-json (zero simulations)")
     args = parser.parse_args()
+    if args.scheduler is not None:
+        if args.scheduler < 1:
+            parser.error("--scheduler must be >= 1")
+        if args.workers != 1:
+            parser.error("--workers conflicts with --scheduler (the "
+                         "scheduler manages its own worker fan-out)")
+    elif args.max_retries is not None:
+        parser.error("--max-retries requires --scheduler")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     if args.from_artifact:
         return render_from_artifact(args.from_artifact)
 
     settings = build_settings(args.profile)
-    executor = executor_from_args(args)
+    scheduler = None
+    if args.scheduler is not None:
+        scheduler = ClusterExecutor(
+            shards=args.scheduler, cache=args.cache,
+            max_retries=2 if args.max_retries is None else args.max_retries)
+        # Table I still runs through an ordinary executor (same cache).
+        executor = build_executor(1, args.cache)
+    else:
+        executor = executor_from_args(args)
     total_runs = (len(settings.protocols) * len(settings.speeds)
                   * settings.replications)
     print(f"Profile {args.profile}: {len(settings.protocols)} protocols × "
@@ -116,12 +149,20 @@ def main() -> None:
               f"delay={result.mean_delay * 1000:6.1f} ms "
               f"({elapsed:6.1f} s elapsed)", flush=True)
 
-    sweep = run_speed_sweep(settings, progress=progress, executor=executor)
-
-    if executor.cache is not None:
-        print(f"\ncache: {executor.cache.hits} hit(s), "
-              f"{executor.simulations_run} simulation(s) executed, "
-              f"{len(executor.cache)} entr(ies) in {executor.cache.root}")
+    if scheduler is not None:
+        sweep = scheduler.run_sweep(settings, progress=progress)
+        print(f"\nscheduler: {scheduler.cells_from_cache} cell(s) from "
+              f"cache, {scheduler.cells_streamed} streamed from "
+              f"{scheduler.workers_launched} worker(s); "
+              f"{scheduler.worker_failures} worker failure(s)")
+    else:
+        sweep = run_speed_sweep(settings, progress=progress,
+                                executor=executor)
+        if executor.cache is not None:
+            print(f"\ncache: {executor.cache.hits} hit(s), "
+                  f"{executor.simulations_run} simulation(s) executed, "
+                  f"{len(executor.cache)} entr(ies) in "
+                  f"{executor.cache.root}")
     if args.save_json:
         sweep.save(args.save_json)
         print(f"sweep written to {args.save_json}")

@@ -22,6 +22,7 @@ Benchmark runs bypass the result cache on purpose: a bench measures the
 simulator, and a cache hit would measure JSON parsing instead.
 """
 
+from repro.bench.compare import CaseDelta, CompareReport, compare_reports
 from repro.bench.profiles import BENCH_PROFILES, BenchCase, BenchProfile, bench_profile
 from repro.bench.runner import BenchCaseResult, BenchReport, run_case, run_profile
 
@@ -31,7 +32,10 @@ __all__ = [
     "BenchCaseResult",
     "BenchProfile",
     "BenchReport",
+    "CaseDelta",
+    "CompareReport",
     "bench_profile",
+    "compare_reports",
     "run_case",
     "run_profile",
 ]

@@ -1,0 +1,158 @@
+"""Trend comparison of two ``BENCH_<profile>.json`` artifacts.
+
+``repro-bench compare A.json B.json`` answers "did the kernel get
+slower?" between a baseline artifact (A) and a candidate artifact (B):
+per-case and total events/sec deltas, plus a workload-integrity check —
+the simulated workloads are seed-pinned, so the ``events`` column of a
+matched case must be identical in both artifacts; if it is not, kernel
+*behaviour* changed and a perf comparison would be meaningless.
+
+Perf numbers are host-dependent: only compare artifacts produced on the
+same machine (the CLI prints both environment stamps so a cross-host
+comparison is at least visible).  The regression gate is relative for
+that reason — ``--threshold`` is a percentage of the baseline, not an
+absolute events/sec floor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.bench.runner import BenchReport
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseDelta:
+    """Events/sec movement of one benchmark case between two artifacts."""
+
+    name: str
+    base_events_per_sec: float
+    new_events_per_sec: float
+    #: Positive = faster, negative = slower (percent of the baseline).
+    delta_pct: float
+    #: Seed-pinned event counts must match; a mismatch means the
+    #: simulated workload itself changed between the artifacts.
+    events_match: bool
+
+
+@dataclasses.dataclass
+class CompareReport:
+    """Outcome of comparing a baseline artifact against a candidate."""
+
+    base: BenchReport
+    new: BenchReport
+    deltas: List[CaseDelta]
+    #: Case names present in only one of the two artifacts.
+    only_in_base: List[str]
+    only_in_new: List[str]
+    #: Total over the *matched* cases only, so an added or removed case
+    #: cannot skew (or mask) the regression verdict.
+    total_delta_pct: float
+
+    @property
+    def workload_changed(self) -> bool:
+        """True when the two artifacts did not simulate the same workload.
+
+        Either a matched case fired a different number of events, or a
+        case exists in only one artifact — in both situations the perf
+        deltas are not comparable.
+        """
+        return (any(not delta.events_match for delta in self.deltas)
+                or bool(self.only_in_base) or bool(self.only_in_new))
+
+    def regressed(self, threshold_pct: float) -> bool:
+        """True when total events/sec dropped by more than the threshold."""
+        return self.total_delta_pct < -threshold_pct
+
+    def format(self, threshold_pct: Optional[float] = None) -> str:
+        """Human-readable comparison table."""
+        lines = [
+            f"baseline:  {self.base.profile:<8} "
+            f"(repro {self.base.repro_version}, "
+            f"py {self.base.python_version}, {self.base.machine})",
+            f"candidate: {self.new.profile:<8} "
+            f"(repro {self.new.repro_version}, "
+            f"py {self.new.python_version}, {self.new.machine})",
+        ]
+        for delta in self.deltas:
+            note = "" if delta.events_match else "  [workload changed!]"
+            lines.append(
+                f"  {delta.name:<14} {delta.base_events_per_sec:>10.0f} -> "
+                f"{delta.new_events_per_sec:>10.0f} ev/s "
+                f"({delta.delta_pct:+7.2f} %){note}")
+        for name in self.only_in_base:
+            lines.append(f"  {name:<14} only in baseline  "
+                         f"[workload changed!]")
+        for name in self.only_in_new:
+            lines.append(f"  {name:<14} only in candidate  "
+                         f"[workload changed!]")
+        matched = {delta.name for delta in self.deltas}
+        lines.append(f"  {'total':<14} "
+                     f"{_matched_events_per_sec(self.base, matched):>10.0f}"
+                     f" -> "
+                     f"{_matched_events_per_sec(self.new, matched):>10.0f}"
+                     f" ev/s ({self.total_delta_pct:+7.2f} %, matched "
+                     f"cases)")
+        if threshold_pct is not None:
+            if self.workload_changed:
+                lines.append("verdict: WORKLOAD CHANGED — event counts "
+                             "differ; perf deltas are not comparable "
+                             "(kernel behaviour changed, re-record the "
+                             "baseline)")
+            elif self.regressed(threshold_pct):
+                lines.append(f"verdict: REGRESSION — total events/sec "
+                             f"dropped more than {threshold_pct:g} %")
+            else:
+                lines.append(f"verdict: ok (threshold {threshold_pct:g} %)")
+        return "\n".join(lines)
+
+
+def _delta_pct(base: float, new: float) -> float:
+    if base <= 0:
+        return 0.0
+    return (new - base) / base * 100.0
+
+
+def _matched_events_per_sec(report: BenchReport, names) -> float:
+    """Aggregate events/sec over the cases named in ``names`` only."""
+    cases = [case for case in report.cases if case.name in names]
+    wall = sum(case.wall_time_s for case in cases)
+    if wall <= 0:
+        return 0.0
+    return sum(case.events for case in cases) / wall
+
+
+def compare_reports(base: BenchReport, new: BenchReport) -> CompareReport:
+    """Match the cases of two reports by name and compute their deltas.
+
+    The total delta — the number the ``--threshold`` gate judges — is
+    computed over the matched cases only; cases present in just one
+    artifact are reported and flag the comparison as
+    ``workload_changed`` instead of skewing the total.
+    """
+    base_cases = {case.name: case for case in base.cases}
+    new_cases = {case.name: case for case in new.cases}
+    deltas = [
+        CaseDelta(
+            name=name,
+            base_events_per_sec=base_cases[name].events_per_sec,
+            new_events_per_sec=new_cases[name].events_per_sec,
+            delta_pct=_delta_pct(base_cases[name].events_per_sec,
+                                 new_cases[name].events_per_sec),
+            events_match=(base_cases[name].events == new_cases[name].events),
+        )
+        for name in base_cases if name in new_cases
+    ]
+    if not deltas:
+        raise ValueError(
+            f"the artifacts share no benchmark case: baseline has "
+            f"{sorted(base_cases)}, candidate has {sorted(new_cases)}")
+    matched = {delta.name for delta in deltas}
+    return CompareReport(
+        base=base, new=new, deltas=deltas,
+        only_in_base=[name for name in base_cases if name not in new_cases],
+        only_in_new=[name for name in new_cases if name not in base_cases],
+        total_delta_pct=_delta_pct(_matched_events_per_sec(base, matched),
+                                   _matched_events_per_sec(new, matched)),
+    )

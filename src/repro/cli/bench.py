@@ -4,6 +4,7 @@ Usage::
 
     repro-bench [--profile P ...] [--out-dir DIR] [--quiet]
     repro-bench --list
+    repro-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
 
 Runs each requested profile (default: ``smoke``) and writes one
 ``BENCH_<profile>.json`` artifact per profile into ``--out-dir``
@@ -11,6 +12,12 @@ Runs each requested profile (default: ``smoke``) and writes one
 wall-time, events/sec, event-heap health (peak size, compactions,
 cancelled garbage) and spatial-grid health (rebuilds, occupancy,
 candidate-set sizes) — see :mod:`repro.bench`.
+
+``compare`` diffs two artifacts (see :mod:`repro.bench.compare`): it
+prints per-case and total events/sec deltas and exits non-zero when the
+total drops by more than ``--threshold`` percent — or when the pinned
+``events`` counts differ, which means kernel behaviour (not just speed)
+changed and the baseline must be re-recorded.
 
 Perf numbers are host-dependent; compare artifacts produced on the same
 machine.  The simulated workload itself is pinned (fixed seeds), so the
@@ -24,8 +31,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.bench import BENCH_PROFILES, bench_profile, run_profile
-from repro.bench.runner import BenchCaseResult
+from repro.bench import BENCH_PROFILES, bench_profile, compare_reports, run_profile
+from repro.bench.runner import BenchCaseResult, BenchReport
 
 
 def _print_case(result: BenchCaseResult) -> None:
@@ -50,7 +57,34 @@ def cmd_list() -> int:
     return 0
 
 
+def cmd_compare(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench compare",
+        description="Compare two BENCH_<profile>.json artifacts and gate "
+                    "on events/sec regressions.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json artifact")
+    parser.add_argument("candidate", help="candidate BENCH_*.json artifact")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="maximum tolerated total events/sec drop in "
+                             "percent (default: 10)")
+    args = parser.parse_args(argv)
+    try:
+        report = compare_reports(BenchReport.load(args.baseline),
+                                 BenchReport.load(args.candidate))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format(threshold_pct=args.threshold))
+    if report.workload_changed or report.regressed(args.threshold):
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return cmd_compare(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Run simulation-kernel benchmarks and write "

@@ -3,10 +3,20 @@
 Subcommands::
 
     repro-sweep run    [--profile P | --settings-json FILE] [--shard i/K]
+                       [--scheduler K [--max-retries N] [--inject-fault F]]
                        [--workers N] [--cache DIR] [--out PATH] [--quiet]
     repro-sweep plan   [--profile P | --settings-json FILE] --shards K
     repro-sweep merge  --out PATH SHARD [SHARD ...]
     repro-sweep render ARTIFACT [--figure ID ...] [--table1]
+
+``run --scheduler K`` runs the whole grid through the streaming shard
+scheduler (:class:`repro.exec.ClusterExecutor`): cells already in the
+``--cache`` are served without simulating, the rest are dispatched to up
+to K worker processes, and workers that die mid-shard are rebalanced for
+up to ``--max-retries`` extra rounds.  The written artifact is a full
+``SweepResult``, byte-identical to an unsharded serial ``run``.
+``--inject-fault unit:after_cells[:round]`` deterministically kills a
+worker (testing/CI knob).
 
 A sharded sweep across K machines looks like::
 
@@ -35,6 +45,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.exec import (
+    ClusterExecutor,
+    FaultInjection,
     SweepShard,
     ShardSpec,
     add_executor_options,
@@ -74,8 +86,74 @@ def _add_settings_options(parser: argparse.ArgumentParser) -> None:
 
 
 # ---------------------------------------------------------------------- #
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def cmd_run_scheduler(args: argparse.Namespace,
+                      settings: SweepSettings) -> int:
+    total = len(settings.grid())
+    try:
+        faults = [FaultInjection.parse(text)
+                  for text in args.inject_fault or []]
+    except ValueError as exc:
+        print(f"--inject-fault: {exc}", file=sys.stderr)
+        return 2
+    max_retries = 2 if args.max_retries is None else args.max_retries
+    scheduler = ClusterExecutor(shards=args.scheduler,
+                                max_retries=max_retries,
+                                cache=args.cache, faults=faults)
+    print(f"scheduler: {total} grid cell(s) across up to "
+          f"{args.scheduler} worker shard(s)")
+    started = time.time()
+    progress = None
+    if not args.quiet:
+        completed = [0]
+
+        def progress(protocol, speed, replication, result):
+            completed[0] += 1
+            print(f"  [{completed[0]:>3}/{total}] {protocol:<5} "
+                  f"speed={speed:<4g} rep={replication} "
+                  f"({time.time() - started:6.1f} s elapsed)", flush=True)
+
+    sweep = scheduler.run_sweep(settings, progress=progress)
+    print(f"scheduler: {scheduler.cells_from_cache} cell(s) from cache, "
+          f"{scheduler.cells_streamed} streamed from "
+          f"{scheduler.workers_launched} worker(s) over "
+          f"{scheduler.rounds} round(s); "
+          f"{scheduler.worker_failures} worker failure(s), "
+          f"{scheduler.temp_files_swept} orphan temp file(s) swept")
+    if args.out:
+        sweep.save(args.out)
+        print(f"sweep result written to {args.out}")
+    print(f"wall-clock: {time.time() - started:.1f} s")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     settings = _load_settings(args)
+    if args.scheduler is not None:
+        if args.shard != "0/1":
+            print("--scheduler and --shard are mutually exclusive "
+                  "(the scheduler plans its own shards)", file=sys.stderr)
+            return 2
+        return cmd_run_scheduler(args, settings)
+    if args.inject_fault or args.max_retries is not None:
+        # Silently ignoring these would let a CI script believe its
+        # fault-injection path ran when nothing was injected.
+        print("--inject-fault/--max-retries require --scheduler",
+              file=sys.stderr)
+        return 2
     shard = ShardSpec.parse(args.shard)
     executor = executor_from_args(args)
     plan = plan_shards(settings, shard.count)
@@ -158,6 +236,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard", default="0/1", metavar="i/K",
                      help="run shard i of a K-way split (0-based; "
                           "default 0/1 = the whole grid)")
+    run.add_argument("--scheduler", type=_positive_int, metavar="K",
+                     default=None,
+                     help="run the whole grid through the streaming shard "
+                          "scheduler with K worker shards (cache-aware; "
+                          "rebalances after worker deaths; --workers is "
+                          "ignored on this path)")
+    run.add_argument("--max-retries", type=_nonnegative_int, default=None,
+                     metavar="N",
+                     help="extra scheduling rounds allowed after worker "
+                          "failures (scheduler mode only; default 2)")
+    run.add_argument("--inject-fault", action="append", metavar="U:C[:R]",
+                     help="deterministically kill the worker of unit U in "
+                          "round R (default 0) after C completed cells "
+                          "(scheduler mode; testing/CI knob; repeatable)")
     add_executor_options(run)
     run.add_argument("--out", metavar="PATH", default=None,
                      help="write the artifact here: a full SweepResult "

@@ -14,6 +14,10 @@ ablations, Table I, the example scripts — routes through an
 * :class:`~repro.exec.cache.ResultCache` — content-addressed on-disk
   cache keyed by a stable hash of the config, so repeated sweeps only
   simulate cells that changed.
+* :class:`~repro.exec.scheduler.ClusterExecutor` — streaming shard
+  scheduler: cache-aware pre-filtering, worker fan-out over a JSON
+  wire, incremental shard merging, and rebalancing after mid-shard
+  worker deaths; bit-for-bit identical to the serial path.
 
 Quick usage::
 
@@ -45,33 +49,49 @@ from repro.exec.executor import (
     simulate,
 )
 from repro.exec.shard import (
+    ShardMerger,
     ShardSpec,
     SweepShard,
+    assemble_sweep_result,
     merge_shard_results,
     plan_shards,
     run_sweep_shard,
     shard_of_config,
     shard_of_key,
 )
+from repro.exec.scheduler import (
+    ClusterExecutor,
+    FaultInjection,
+    SchedulerError,
+    ShardScheduler,
+    partition_cells,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheProblem",
     "CacheStats",
+    "ClusterExecutor",
     "ExecutionError",
     "Executor",
+    "FaultInjection",
     "MergeStats",
     "ParallelExecutor",
     "PruneReport",
     "ResultCache",
+    "SchedulerError",
     "SerialExecutor",
+    "ShardMerger",
+    "ShardScheduler",
     "ShardSpec",
     "SweepShard",
     "add_executor_options",
+    "assemble_sweep_result",
     "build_executor",
     "config_key",
     "executor_from_args",
     "merge_shard_results",
+    "partition_cells",
     "plan_shards",
     "resolve_executor",
     "run_sweep_shard",

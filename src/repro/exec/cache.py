@@ -34,7 +34,9 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Collection, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
@@ -42,6 +44,15 @@ from repro.version import __version__
 
 #: Bump when the on-disk entry layout changes; older entries become misses.
 CACHE_FORMAT_VERSION = 1
+
+
+def _temp_file_pid(name: str) -> Optional[int]:
+    """The writer pid encoded in a ``.{key}.{pid}.tmp`` file name."""
+    parts = name.split(".")
+    try:
+        return int(parts[-2])
+    except (IndexError, ValueError):
+        return None
 
 
 def config_key(config: ScenarioConfig) -> str:
@@ -107,16 +118,23 @@ class ResultCache:
         return sorted(itertools.chain(self.root.glob(".*.tmp"),
                                       self.root.glob("??/.*.tmp")))
 
-    def sweep_temp_files(self, min_age_seconds: float = 0.0) -> int:
+    def sweep_temp_files(self, min_age_seconds: float = 0.0,
+                         pids: Optional[Collection[int]] = None) -> int:
         """Delete orphaned writer temp files; returns how many were removed.
 
         ``min_age_seconds`` protects live writers: only temp files whose
         mtime is at least that old are deleted (pass ``0`` to sweep
         everything, safe when no sweep is running against this root).
+        ``pids`` restricts the sweep to temp files written by those
+        process ids (the ``.{key}.{pid}.tmp`` name component) — how a
+        scheduler sweeps up after workers it *knows* are dead without
+        racing other writers that may share the cache root.
         """
         cutoff = time.time() - min_age_seconds
         removed = 0
         for tmp in self.temp_files():
+            if pids is not None and _temp_file_pid(tmp.name) not in pids:
+                continue
             try:
                 if tmp.stat().st_mtime <= cutoff:
                     tmp.unlink()
@@ -148,6 +166,26 @@ class ResultCache:
             return None
         self.hits += 1
         return result
+
+    def lookup(self, configs: Sequence[ScenarioConfig],
+               ) -> Tuple[Dict[int, ScenarioResult], List[int]]:
+        """Batch :meth:`get`: split ``configs`` into hits and misses.
+
+        Returns ``(hits, misses)`` where ``hits`` maps positions in
+        ``configs`` to their cached results (in position order) and
+        ``misses`` lists the positions that must be simulated.  This is
+        the primitive behind cache-aware scheduling: executors serve the
+        hits immediately and only dispatch the misses.
+        """
+        hits: Dict[int, ScenarioResult] = {}
+        misses: List[int] = []
+        for index, config in enumerate(configs):
+            result = self.get(config)
+            if result is None:
+                misses.append(index)
+            else:
+                hits[index] = result
+        return hits, misses
 
     def put(self, config: ScenarioConfig, result: ScenarioResult) -> Path:
         """Store ``result`` for ``config``; returns the entry path.

@@ -111,15 +111,14 @@ class Executor(abc.ABC):
         """
         configs = list(configs)
         results: List[Optional[ScenarioResult]] = [None] * len(configs)
-        pending: List[int] = []
-        for index, config in enumerate(configs):
-            cached = self.cache.get(config) if self.cache is not None else None
-            if cached is not None:
-                results[index] = cached
-                if progress is not None:
-                    progress(index, config, cached)
-            else:
-                pending.append(index)
+        if self.cache is not None:
+            hits, pending = self.cache.lookup(configs)
+        else:
+            hits, pending = {}, list(range(len(configs)))
+        for index, cached in hits.items():
+            results[index] = cached
+            if progress is not None:
+                progress(index, configs[index], cached)
 
         if pending:
             def report(position: int, result: ScenarioResult) -> None:

@@ -1,0 +1,445 @@
+"""Streaming shard scheduler: cluster-style sweeps with rebalancing.
+
+:class:`ClusterExecutor` (alias :class:`ShardScheduler`) runs a full
+:class:`~repro.experiments.sweep.SweepSettings` grid the way a cluster
+controller would, while staying a single ~local process tree:
+
+1. **Cache-aware pre-filter.**  Every grid cell already present in the
+   (merged) :class:`~repro.exec.cache.ResultCache` is served from disk
+   up front (:meth:`ResultCache.lookup`); only the misses are scheduled.
+   A fully warm cache therefore dispatches no workers and runs zero
+   simulations.
+2. **Plan.**  The remaining cells are partitioned into work units by
+   hashing their cache keys — the same coordination-free split as
+   :func:`~repro.exec.shard.plan_shards`, so on a cold cache the first
+   round's plan is exactly the K-machine ``--shard i/K`` plan.
+3. **Dispatch & stream.**  Each unit goes to a worker process over a
+   JSON wire (settings + grid indices out, a serialized
+   :class:`~repro.exec.shard.SweepShard` back).  Workers run their cells
+   through the ordinary :meth:`Executor.run` contract against the shared
+   cache root, so every completed cell is durably cached the moment it
+   finishes — that is what makes mid-shard crashes recoverable.
+   Completed shard artifacts stream back as workers finish and are
+   merged incrementally through :class:`~repro.exec.shard.ShardMerger`
+   (the validating core of
+   :func:`~repro.exec.shard.merge_shard_results`).
+4. **Rebalance.**  When a worker dies mid-shard (crash, kill, or an
+   injected fault), its unit's results never arrive.  The scheduler
+   sweeps the dead writer's orphaned cache temp files, re-filters the
+   missing cells against the cache — cells the worker completed before
+   dying are recovered for free — and re-plans only the genuinely lost
+   cells across a fresh round of workers, up to ``max_retries`` extra
+   rounds.
+
+The scheduled sweep is **bit-for-bit identical** to a serial
+:func:`~repro.experiments.sweep.run_speed_sweep`: every cell simulation
+is deterministic given its config, results cross process boundaries as
+canonical JSON (a lossless round trip), and assembly goes through the
+shared :func:`~repro.exec.shard.assemble_sweep_result` path regardless
+of which workers crashed, which cells were replayed from cache, or what
+order artifacts streamed back.  The local process transport is
+deliberately thin: a remote backend only needs to move the same two JSON
+payloads over a different wire.
+
+Fault injection (tests / CI) is deterministic: a
+:class:`FaultInjection` names a scheduling round and work unit, and the
+worker entry point kills its own process (``os._exit``) after the given
+number of completed cells — after the cell's cache write, before the
+shard artifact is sent, exactly like a machine lost mid-shard.
+
+This module imports the sweep layer lazily inside functions (same
+circular-import idiom as :mod:`repro.exec.shard`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import tempfile
+from typing import (
+    Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union,
+)
+
+from repro.exec.cache import ResultCache
+from repro.exec.executor import SerialExecutor
+from repro.exec.shard import (
+    ShardMerger, ShardSpec, SweepShard, shard_of_config,
+)
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.results import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.sweep import SweepResult, SweepSettings
+
+#: Signature of the sweep-level progress callback (matches
+#: :func:`~repro.experiments.sweep.run_speed_sweep`):
+#: ``(protocol, speed, replication, result)``.
+SweepProgress = Callable[[str, float, int, ScenarioResult], None]
+
+#: Exit code used by an injected worker fault (``os._exit``); purely
+#: informational — the scheduler treats any worker that dies before
+#: sending its artifact as failed, whatever the exit code.
+FAULT_EXIT_CODE = 73
+
+#: Minimum age before a temp file not written by one of this run's dead
+#: workers is treated as an abandoned stray and swept.  Another live
+#: sweep sharing the cache root finishes an atomic write in well under
+#: an hour; a file this old belongs to a writer that is long gone.
+STRAY_TEMP_MIN_AGE_SECONDS = 3600.0
+
+
+class SchedulerError(RuntimeError):
+    """Raised when the grid cannot be completed within ``max_retries``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjection:
+    """Deterministic kill-after-N-cells knob for scheduler workers.
+
+    Kills the worker running work unit ``unit`` of scheduling round
+    ``round`` once ``after_cells`` of its cells have completed (and been
+    written to the cache) — before the shard artifact is sent back.
+    Purely a test/CI instrument: it exercises exactly the code path a
+    crashed or preempted worker machine would.
+    """
+
+    unit: int
+    after_cells: int
+    round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.unit < 0:
+            raise ValueError("fault unit must be >= 0")
+        if self.after_cells < 1:
+            raise ValueError("fault after_cells must be >= 1")
+        if self.round < 0:
+            raise ValueError("fault round must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultInjection":
+        """Parse the CLI form ``"unit:after_cells[:round]"``."""
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"expected a fault of the form 'unit:after_cells[:round]' "
+                f"(e.g. '0:1'), got {text!r}")
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError:
+            raise ValueError(
+                f"expected a fault of the form 'unit:after_cells[:round]' "
+                f"(e.g. '0:1'), got {text!r}") from None
+        return cls(*numbers)
+
+    def __str__(self) -> str:
+        return f"{self.unit}:{self.after_cells}:{self.round}"
+
+
+# ---------------------------------------------------------------------- #
+# worker entry point (module-level so it survives spawn start methods)
+# ---------------------------------------------------------------------- #
+def _scheduler_worker_main(conn, payload_json: str) -> None:
+    """Run one work unit: simulate its cells, send back a shard artifact.
+
+    The payload carries the sweep settings, the unit's canonical grid
+    indices, the shared cache root, and the optional fault-injection
+    hook (``fail_after_cells``).  Every completed cell is written to the
+    cache *before* it counts toward the fault threshold, so an injected
+    kill leaves exactly the on-disk state of a real mid-shard crash.
+    """
+    from repro.experiments.sweep import SweepSettings
+    payload = json.loads(payload_json)
+    settings = SweepSettings.from_dict(payload["settings"])
+    indices: List[int] = [int(index) for index in payload["cells"]]
+    fail_after = payload.get("fail_after_cells")
+    grid = settings.grid()
+    configs = [settings.cell_config(*grid[index]) for index in indices]
+    cache = ResultCache(payload["cache_root"])
+
+    completed = [0]
+
+    def progress(position: int, config: ScenarioConfig,
+                 result: ScenarioResult) -> None:
+        completed[0] += 1
+        if fail_after is not None and completed[0] >= fail_after:
+            conn.close()
+            os._exit(FAULT_EXIT_CODE)
+
+    executor = SerialExecutor(cache=cache)
+    results = executor.run(configs, progress=progress)
+    piece = SweepShard(settings=settings,
+                       shard=ShardSpec(index=payload["unit_index"],
+                                       count=payload["unit_count"]),
+                       results=dict(zip(indices, results)))
+    conn.send(piece.to_json())
+    conn.close()
+
+
+def partition_cells(settings: "SweepSettings", cells: Sequence[int],
+                    unit_count: int,
+                    configs: Optional[Sequence[ScenarioConfig]] = None,
+                    ) -> List[List[int]]:
+    """Split ``cells`` (canonical grid indices) into non-empty work units.
+
+    Cells are assigned by hashing their config's cache key with
+    :func:`~repro.exec.shard.shard_of_config` — the same pure function
+    the K-machine planner uses — then empty units are dropped.  With the
+    full grid and a cold cache this reproduces
+    ``plan_shards(settings, unit_count)`` exactly (minus empty shards).
+    ``configs``, when given, is the full grid's config list
+    (``settings.cell_configs()``) so callers that already built it do
+    not pay for rebuilding and re-hashing every cell each round.
+    """
+    if unit_count < 1:
+        raise ValueError("unit count must be at least 1")
+    grid = settings.grid()
+    units: List[List[int]] = [[] for _ in range(unit_count)]
+    for index in cells:
+        config = (configs[index] if configs is not None
+                  else settings.cell_config(*grid[index]))
+        units[shard_of_config(config, unit_count)].append(index)
+    return [unit for unit in units if unit]
+
+
+class ClusterExecutor:
+    """Streaming shard scheduler with cache-aware rebalancing.
+
+    Parameters
+    ----------
+    shards:
+        Number of work units per scheduling round (the ``--scheduler K``
+        CLI knob).  On a cold cache the first round's plan equals the
+        K-machine ``plan_shards`` split.
+    workers:
+        Maximum concurrently running worker processes; defaults to
+        ``shards``.  Units beyond the cap queue and dispatch as workers
+        finish, so artifacts stream back throughout the round.
+    max_retries:
+        Extra scheduling rounds allowed after worker failures.  ``0``
+        means a single round: any worker death fails the sweep.
+    cache:
+        The shared :class:`ResultCache` (or a path).  ``None`` uses a
+        private temporary cache root for the duration of the run —
+        crash recovery still works, but nothing persists afterwards.
+    faults:
+        :class:`FaultInjection` instances (tests/CI only).
+    mp_context:
+        Start-method name or :mod:`multiprocessing` context, as in
+        :class:`~repro.exec.executor.ParallelExecutor`.
+
+    Counters (reset at each :meth:`run_sweep` call) expose what happened:
+    ``cells_from_cache`` (pre-filter plus post-crash recovery hits),
+    ``cells_streamed`` (arrived in shard artifacts), ``workers_launched``,
+    ``worker_failures``, ``rounds`` and ``temp_files_swept``.
+    """
+
+    def __init__(self, shards: int = 2,
+                 workers: Optional[int] = None,
+                 max_retries: int = 2,
+                 cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
+                 faults: Sequence[FaultInjection] = (),
+                 mp_context: Union[str, multiprocessing.context.BaseContext,
+                                   None] = None):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.shards = shards
+        self.workers = workers or shards
+        self.max_retries = max_retries
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.faults = tuple(faults)
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        #: Cells served straight from the cache (pre-filter + recovery).
+        self.cells_from_cache = 0
+        #: Cells that arrived in streamed worker shard artifacts.
+        self.cells_streamed = 0
+        #: Worker processes started across all rounds.
+        self.workers_launched = 0
+        #: Workers that died before delivering their shard artifact.
+        self.worker_failures = 0
+        #: Scheduling rounds that dispatched at least one worker.
+        self.rounds = 0
+        #: Orphaned cache temp files removed after failed rounds.
+        self.temp_files_swept = 0
+
+    # ------------------------------------------------------------------ #
+    def run_sweep(self, settings: Optional["SweepSettings"] = None,
+                  progress: Optional[SweepProgress] = None) -> "SweepResult":
+        """Run the full grid of ``settings``; returns the merged sweep.
+
+        The result is bit-for-bit identical to
+        ``run_speed_sweep(settings)`` on a serial executor, whatever the
+        cache state and whichever workers crash (within ``max_retries``).
+        """
+        from repro.experiments.sweep import SweepSettings
+        settings = settings or SweepSettings.bench()
+        self._reset_counters()
+        if self.cache is not None:
+            return self._run(settings, self.cache, progress)
+        with tempfile.TemporaryDirectory(prefix="repro-scheduler-") as root:
+            return self._run(settings, ResultCache(root), progress)
+
+    # ------------------------------------------------------------------ #
+    def _run(self, settings: "SweepSettings", cache: ResultCache,
+             progress: Optional[SweepProgress]) -> "SweepResult":
+        grid = settings.grid()
+        configs = settings.cell_configs()
+        merger = ShardMerger(settings)
+        pending = list(range(len(grid)))
+        round_no = 0
+        while True:
+            # Cache-aware (re-)filter: round 0 is the pre-filter; later
+            # rounds recover cells a dead worker completed before dying.
+            hits, _misses = cache.lookup([configs[index]
+                                          for index in pending])
+            if hits:
+                recovered = {pending[position]: result
+                             for position, result in hits.items()}
+                merger.add_results(recovered)
+                self.cells_from_cache += len(recovered)
+                self._report(settings, grid, recovered, progress)
+                pending = [index for index in pending
+                           if index not in recovered]
+            if not pending:
+                break
+            if round_no > self.max_retries:
+                raise SchedulerError(
+                    f"sweep incomplete after {round_no} round(s) "
+                    f"({self.worker_failures} worker failure(s)): "
+                    f"{len(pending)} grid cell(s) missing: {pending}")
+            units = partition_cells(settings, pending,
+                                    min(self.shards, len(pending)),
+                                    configs=configs)
+            failed_units, dead_pids = self._run_round(
+                settings, grid, units, round_no, cache, merger, progress)
+            self.rounds += 1
+            if failed_units:
+                self.worker_failures += len(failed_units)
+                self.temp_files_swept += self._sweep_orphans(cache,
+                                                             dead_pids)
+            pending = [index for index in pending if index not in merger]
+            round_no += 1
+        self.temp_files_swept += self._sweep_orphans(cache, ())
+        return merger.result()
+
+    @staticmethod
+    def _sweep_orphans(cache: ResultCache, dead_pids) -> int:
+        """Remove temp files of known-dead workers, plus ancient strays.
+
+        The cache root may be shared with other live writers (parallel
+        sweeps are explicitly allowed to share one), so only files whose
+        pid belongs to a worker this scheduler watched die are swept
+        unconditionally; anything else must be at least
+        :data:`STRAY_TEMP_MIN_AGE_SECONDS` old.
+        """
+        swept = 0
+        if dead_pids:
+            swept += cache.sweep_temp_files(pids=set(dead_pids))
+        swept += cache.sweep_temp_files(
+            min_age_seconds=STRAY_TEMP_MIN_AGE_SECONDS)
+        return swept
+
+    # ------------------------------------------------------------------ #
+    def _run_round(self, settings: "SweepSettings",
+                   grid: List[Tuple[str, float, int]],
+                   units: List[List[int]], round_no: int,
+                   cache: ResultCache, merger: ShardMerger,
+                   progress: Optional[SweepProgress],
+                   ) -> Tuple[List[int], List[int]]:
+        """Dispatch one round of work units.
+
+        Returns ``(failed unit indices, dead worker pids)``.  At most
+        ``self.workers`` processes run concurrently; completed shard
+        artifacts are merged the moment they stream back, while other
+        units are still running.
+        """
+        context = self._mp_context or multiprocessing.get_context()
+        faults = {fault.unit: fault for fault in self.faults
+                  if fault.round == round_no}
+        queued = list(enumerate(units))
+        live: Dict[object, Tuple[int, multiprocessing.Process]] = {}
+        failed_units: List[int] = []
+        dead_pids: List[int] = []
+        try:
+            while queued or live:
+                while queued and len(live) < self.workers:
+                    unit_index, cells = queued.pop(0)
+                    fault = faults.get(unit_index)
+                    payload = json.dumps({
+                        "settings": settings.to_dict(),
+                        "cells": cells,
+                        "cache_root": str(cache.root),
+                        "unit_index": unit_index,
+                        "unit_count": len(units),
+                        "fail_after_cells":
+                            fault.after_cells if fault else None,
+                    }, sort_keys=True)
+                    receiver, sender = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_scheduler_worker_main,
+                        args=(sender, payload), daemon=True)
+                    process.start()
+                    sender.close()
+                    live[receiver] = (unit_index, process)
+                    self.workers_launched += 1
+                ready = multiprocessing.connection.wait(list(live))
+                for receiver in ready:
+                    unit_index, process = live.pop(receiver)
+                    try:
+                        artifact = receiver.recv()
+                    except (EOFError, OSError):
+                        # EOFError: died before sending anything; OSError:
+                        # died mid-send (partial message).  Both are the
+                        # same mid-shard crash to the scheduler.
+                        artifact = None
+                    receiver.close()
+                    process.join()
+                    if artifact is None:
+                        failed_units.append(unit_index)
+                        if process.pid is not None:
+                            dead_pids.append(process.pid)
+                        continue
+                    piece = SweepShard.from_json(artifact)
+                    merger.add(piece)
+                    self.cells_streamed += len(piece.results)
+                    self._report(settings, grid, piece.results, progress)
+        finally:
+            for _unit_index, process in live.values():
+                process.terminate()
+                process.join()
+        return failed_units, dead_pids
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _report(settings: "SweepSettings",
+                grid: List[Tuple[str, float, int]],
+                results: Dict[int, ScenarioResult],
+                progress: Optional[SweepProgress]) -> None:
+        if progress is None:
+            return
+        for index in sorted(results):
+            protocol, speed, replication = grid[index]
+            progress(protocol, speed, replication, results[index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ClusterExecutor(shards={self.shards}, "
+                f"workers={self.workers}, max_retries={self.max_retries}, "
+                f"cache={self.cache!r})")
+
+
+#: The ISSUE/ROADMAP name for the same object: scheduling is the act,
+#: cluster execution is the capability.
+ShardScheduler = ClusterExecutor

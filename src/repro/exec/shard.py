@@ -215,6 +215,91 @@ def run_sweep_shard(settings: Optional["SweepSettings"] = None,
                       results=dict(zip(mine, results)))
 
 
+def assemble_sweep_result(settings: "SweepSettings",
+                          results: Mapping[int, ScenarioResult],
+                          ) -> "SweepResult":
+    """Assemble per-cell results into a :class:`SweepResult` canonically.
+
+    ``results`` maps canonical grid indices (positions in
+    ``settings.grid()``) to results and must cover the grid exactly.
+    Assembly is always in canonical grid order, which is what makes
+    sweep artifacts bit-for-bit independent of the execution strategy —
+    serial, parallel, sharded, or scheduled.  This is the one assembly
+    path shared by :func:`~repro.experiments.sweep.run_speed_sweep`,
+    :func:`merge_shard_results` and the streaming scheduler.
+    """
+    from repro.experiments.sweep import SweepResult
+    grid = settings.grid()
+    if sorted(results) != list(range(len(grid))):
+        raise ValueError(
+            f"results cover {len(results)} of {len(grid)} grid cells")
+    runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
+    for index, (protocol, speed, _replication) in enumerate(grid):
+        runs.setdefault((protocol, speed), []).append(results[index])
+    aggregates = {key: aggregate_results(cell_results)
+                  for key, cell_results in runs.items()}
+    return SweepResult(settings=settings, aggregates=aggregates, runs=runs)
+
+
+class ShardMerger:
+    """Incremental, validating accumulator of sweep cells.
+
+    Shard artifacts (or raw per-cell result mappings) are added one at a
+    time — in any order, as they stream back from workers — and the full
+    :class:`~repro.experiments.sweep.SweepResult` is produced once the
+    grid is covered.  Unlike :func:`merge_shard_results`, the merger does
+    not require the pieces to follow the planner's K-way assignment:
+    only settings equality, per-cell uniqueness, and (at :meth:`result`
+    time) exact grid coverage are enforced, which is what a rebalancing
+    scheduler needs when a crashed shard's surviving cells come back
+    split across new work units.
+    """
+
+    def __init__(self, settings: "SweepSettings"):
+        self.settings = settings
+        self._settings_json = settings.to_json()
+        self._grid_size = len(settings.grid())
+        self._results: Dict[int, ScenarioResult] = {}
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def missing(self) -> List[int]:
+        """Grid indices not merged yet, in canonical order."""
+        return [index for index in range(self._grid_size)
+                if index not in self._results]
+
+    def add_results(self, results: Mapping[int, ScenarioResult]) -> None:
+        """Merge raw per-cell results (grid index -> result)."""
+        for index in results:
+            if not 0 <= index < self._grid_size:
+                raise ValueError(
+                    f"grid index {index} outside the {self._grid_size}-cell "
+                    f"grid")
+            if index in self._results:
+                raise ValueError(f"grid cell {index} merged twice")
+        self._results.update(results)
+
+    def add(self, shard: SweepShard) -> None:
+        """Merge one shard artifact (validating its settings match)."""
+        if shard.settings.to_json() != self._settings_json:
+            raise ValueError("shards come from different sweep settings")
+        self.add_results(shard.results)
+
+    def result(self) -> "SweepResult":
+        """The assembled sweep; raises unless the grid is fully covered."""
+        if len(self._results) != self._grid_size:
+            missing = self.missing
+            raise ValueError(
+                f"merged shards cover {len(self._results)} of "
+                f"{self._grid_size} grid cells; missing {missing}")
+        return assemble_sweep_result(self.settings, self._results)
+
+
 def merge_shard_results(shards: List[SweepShard]) -> "SweepResult":
     """Reassemble shard artifacts into the full :class:`SweepResult`.
 
@@ -226,18 +311,19 @@ def merge_shard_results(shards: List[SweepShard]) -> "SweepResult":
     does — so the merged sweep is bit-for-bit identical to a
     single-process serial run.
     """
-    from repro.experiments.sweep import SweepResult
     if not shards:
         raise ValueError("no shards to merge")
     reference = shards[0]
-    settings_json = reference.settings.to_json()
     count = reference.shard.count
     if len(shards) != count:
         raise ValueError(f"expected {count} shards, got {len(shards)}")
+    merger = ShardMerger(reference.settings)
+    settings_json = reference.settings.to_json()
     seen_indices = set()
-    merged: Dict[int, ScenarioResult] = {}
     plans = plan_shards(reference.settings, count)
     for piece in shards:
+        # Checked here (not left to merger.add) so a settings mismatch is
+        # reported as such, before the coverage check can trip on it.
         if piece.settings.to_json() != settings_json:
             raise ValueError("shards come from different sweep settings")
         if piece.shard.count != count:
@@ -250,15 +336,5 @@ def merge_shard_results(shards: List[SweepShard]) -> "SweepResult":
             raise ValueError(
                 f"shard {piece.shard} covers grid cells "
                 f"{sorted(piece.results)}, expected {expected}")
-        merged.update(piece.results)
-
-    grid = reference.settings.grid()
-    if len(merged) != len(grid):  # pragma: no cover - guarded above
-        raise ValueError("merged shards do not cover the full grid")
-    runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
-    for index, (protocol, speed, _replication) in enumerate(grid):
-        runs.setdefault((protocol, speed), []).append(merged[index])
-    aggregates = {key: aggregate_results(cell_results)
-                  for key, cell_results in runs.items()}
-    return SweepResult(settings=reference.settings, aggregates=aggregates,
-                       runs=runs)
+        merger.add(piece)
+    return merger.result()

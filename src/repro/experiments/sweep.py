@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.exec import Executor, ResultCache, resolve_executor
+from repro.exec import (
+    Executor, ResultCache, assemble_sweep_result, resolve_executor,
+)
 from repro.scenario.config import ScenarioConfig, normalize_config_fields
-from repro.scenario.results import AggregateResult, ScenarioResult, aggregate_results
+from repro.scenario.results import AggregateResult, ScenarioResult
 
 #: The protocols the paper compares.
 PAPER_PROTOCOLS = ("DSR", "AODV", "MTS")
@@ -125,6 +128,34 @@ class SweepSettings:
         config.update(overrides)
         return cls(protocols=PAPER_PROTOCOLS, speeds=(5.0, 10.0, 20.0),
                    replications=2, config_overrides=config)
+
+    def shrink(self, sim_time: float = 4.0, max_nodes: int = 20,
+               max_speeds: int = 1, replications: int = 1) -> "SweepSettings":
+        """A miniature variant of this grid for fast deterministic tests.
+
+        Preserves the profile's character — protocols, flow structure,
+        and node *density* (the node count is capped and the field is
+        scaled by the matching factor) — while cutting the cell count
+        and simulated time so a full grid finishes in seconds.  Used by
+        the golden-digest suite to pin every canned profile, and by the
+        scheduler tests.
+        """
+        if sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        if max_nodes < 2 or max_speeds < 1 or replications < 1:
+            raise ValueError("shrink bounds must be positive")
+        overrides = dict(self.config_overrides)
+        n_nodes = int(overrides.get("n_nodes", 50))
+        if n_nodes > max_nodes:
+            width, height = overrides.get("field_size", (1000.0, 1000.0))
+            scale = math.sqrt(max_nodes / n_nodes)
+            overrides["field_size"] = (width * scale, height * scale)
+            overrides["n_nodes"] = max_nodes
+        overrides["sim_time"] = sim_time
+        return dataclasses.replace(
+            self, speeds=self.speeds[:max_speeds],
+            replications=min(self.replications, replications),
+            config_overrides=overrides)
 
     def cell_config(self, protocol: str, speed: float, replication: int) -> ScenarioConfig:
         """The scenario configuration of one grid cell replication."""
@@ -338,10 +369,4 @@ def run_speed_sweep(settings: Optional[SweepSettings] = None,
             progress(protocol, speed, replication, result)
 
     results = runner.run(configs, progress=executor_progress)
-
-    runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
-    for (protocol, speed, _replication), result in zip(grid, results):
-        runs.setdefault((protocol, speed), []).append(result)
-    aggregates = {key: aggregate_results(cell_results)
-                  for key, cell_results in runs.items()}
-    return SweepResult(settings=settings, aggregates=aggregates, runs=runs)
+    return assemble_sweep_result(settings, dict(enumerate(results)))

@@ -11,11 +11,30 @@ from repro.bench import (
     BenchCase,
     BenchReport,
     bench_profile,
+    compare_reports,
     run_case,
     run_profile,
 )
+from repro.bench.runner import BenchCaseResult
 from repro.cli import bench as bench_cli
 from repro.scenario.config import ScenarioConfig
+
+
+def synthetic_report(profile: str, events_per_sec: float,
+                     events: int = 1000,
+                     case_names=("alpha", "beta")) -> BenchReport:
+    """A hand-built artifact with exact, known throughput numbers."""
+    cases = [
+        BenchCaseResult(
+            name=name, protocol="MTS", n_nodes=10, sim_time=5.0,
+            wall_time_s=events / events_per_sec, events=events,
+            events_per_sec=events_per_sec, peak_heap_size=100,
+            heap_compactions=0, pending_events=0, cancelled_pending=0,
+            transmissions=50, grid={"grid_rebuilds": 1.0})
+        for name in case_names
+    ]
+    return BenchReport(profile=profile, description="synthetic",
+                       cases=cases, created_unix=0.0)
 
 
 def test_all_profiles_are_well_formed():
@@ -89,6 +108,90 @@ def test_bench_workload_is_deterministic():
     assert first.transmissions == second.transmissions
     assert first.peak_heap_size == second.peak_heap_size
     assert first.grid["grid_rebuilds"] == second.grid["grid_rebuilds"]
+
+
+class TestCompare:
+    def test_deltas_are_computed_per_case_and_total(self):
+        report = compare_reports(synthetic_report("smoke", 1000.0),
+                                 synthetic_report("smoke", 1200.0))
+        assert [delta.name for delta in report.deltas] == ["alpha", "beta"]
+        for delta in report.deltas:
+            assert delta.delta_pct == pytest.approx(20.0)
+            assert delta.events_match
+        assert report.total_delta_pct == pytest.approx(20.0)
+        assert not report.workload_changed
+        assert not report.regressed(10.0)
+
+    def test_regression_detection_honours_threshold(self):
+        report = compare_reports(synthetic_report("smoke", 1000.0),
+                                 synthetic_report("smoke", 850.0))
+        assert report.total_delta_pct == pytest.approx(-15.0)
+        assert report.regressed(10.0)
+        assert not report.regressed(20.0)
+
+    def test_changed_event_counts_flag_the_workload(self):
+        report = compare_reports(
+            synthetic_report("smoke", 1000.0, events=1000),
+            synthetic_report("smoke", 1000.0, events=999))
+        assert report.workload_changed
+
+    def test_partial_case_overlap_flags_workload_and_uses_matched_total(
+            self):
+        # 'beta' exists only in the baseline, 'gamma' only in the
+        # candidate: the total must be computed over 'alpha' alone and
+        # the comparison flagged as a workload change.
+        report = compare_reports(
+            synthetic_report("smoke", 1000.0, case_names=("alpha", "beta")),
+            synthetic_report("smoke", 1000.0, case_names=("alpha", "gamma")))
+        assert [delta.name for delta in report.deltas] == ["alpha"]
+        assert report.only_in_base == ["beta"]
+        assert report.only_in_new == ["gamma"]
+        assert report.total_delta_pct == pytest.approx(0.0)
+        assert report.workload_changed
+
+    def test_disjoint_case_sets_are_rejected(self):
+        with pytest.raises(ValueError, match="share no benchmark case"):
+            compare_reports(synthetic_report("smoke", 1000.0,
+                                             case_names=("a",)),
+                            synthetic_report("smoke", 1000.0,
+                                             case_names=("b",)))
+
+    def test_cli_compare_ok_and_regression_exit_codes(self, tmp_path,
+                                                      capsys):
+        base = tmp_path / "base.json"
+        base.write_text(synthetic_report("smoke", 1000.0).to_json())
+        faster = tmp_path / "faster.json"
+        faster.write_text(synthetic_report("smoke", 1100.0).to_json())
+        slower = tmp_path / "slower.json"
+        slower.write_text(synthetic_report("smoke", 700.0).to_json())
+
+        assert bench_cli.main(["compare", str(base), str(faster)]) == 0
+        out = capsys.readouterr().out
+        assert "+10.00 %" in out and "verdict: ok" in out
+
+        assert bench_cli.main(["compare", str(base), str(slower),
+                               "--threshold", "10"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+        # A generous threshold tolerates the same slowdown.
+        assert bench_cli.main(["compare", str(base), str(slower),
+                               "--threshold", "50"]) == 0
+
+    def test_cli_compare_flags_workload_change(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(synthetic_report("smoke", 1000.0,
+                                         events=1000).to_json())
+        changed = tmp_path / "changed.json"
+        changed.write_text(synthetic_report("smoke", 1000.0,
+                                            events=2000).to_json())
+        assert bench_cli.main(["compare", str(base), str(changed)]) == 1
+        assert "WORKLOAD CHANGED" in capsys.readouterr().out
+
+    def test_cli_compare_missing_artifact_is_a_usage_error(self, tmp_path,
+                                                           capsys):
+        assert bench_cli.main(["compare", str(tmp_path / "nope.json"),
+                               str(tmp_path / "nada.json")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 def test_cli_list(capsys):

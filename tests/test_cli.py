@@ -109,6 +109,42 @@ class TestReproSweep:
                                "--quiet", "--out", str(out_path)]) == 0
         assert out_path.read_text(encoding="utf-8") == tiny_serial.to_json()
 
+    def test_scheduler_run_with_injected_kill_matches_serial(
+            self, tmp_path, capsys, settings_file, tiny_serial):
+        """run --scheduler 2 --inject-fault 0:1 → byte-identical artifact."""
+        out_path = tmp_path / "scheduled.json"
+        assert sweep_cli.main([
+            "run", "--settings-json", str(settings_file),
+            "--scheduler", "2", "--max-retries", "2",
+            "--inject-fault", "0:1", "--quiet",
+            "--cache", str(tmp_path / "sched-cache"),
+            "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        # Exactly one injected kill must actually have fired — "0 worker
+        # failure(s)" would mean the fault path was never exercised.
+        assert "1 worker failure(s)" in out
+        assert out_path.read_text(encoding="utf-8") == tiny_serial.to_json()
+
+    def test_scheduler_rejects_bad_flag_combinations(self, capsys,
+                                                     settings_file):
+        assert sweep_cli.main(["run", "--settings-json", str(settings_file),
+                               "--scheduler", "2", "--shard", "0/2"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert sweep_cli.main(["run", "--settings-json", str(settings_file),
+                               "--scheduler", "2",
+                               "--inject-fault", "bogus"]) == 2
+        assert "--inject-fault" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli.main(["run", "--settings-json", str(settings_file),
+                            "--scheduler", "0"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+        # Scheduler-only flags without --scheduler are an error, not a
+        # silently uninjected run.
+        assert sweep_cli.main(["run", "--settings-json", str(settings_file),
+                               "--inject-fault", "0:1"]) == 2
+        assert "require --scheduler" in capsys.readouterr().err
+
 
 class TestReproCache:
     @pytest.fixture()

@@ -1,24 +1,34 @@
-"""Golden-digest determinism test for the optimized simulation kernel.
+"""Golden-digest determinism tests for the simulation kernel.
 
-The PR-3 kernel optimizations (``__slots__``/tuple-keyed event heap, heap
-compaction, position memoisation, hand-rolled header clones, sense-only
-copy elision) are required to be **bit-for-bit** behaviour-preserving:
-the serialized :class:`~repro.experiments.SweepResult` of
-``SweepSettings.smoke()`` must be byte-identical to what the seed kernel
-produced.  The reference digest below was recorded by running this exact
-sweep on the pre-PR-3 kernel (commit 3385e6c).
+Every canned sweep profile (except ``paper``, which takes hours) is
+pinned to the sha256 of its serialized
+:class:`~repro.experiments.SweepResult`:
 
-If this test fails, the kernel's behaviour changed.  Either find the
-regression, or — if the change is intentional — record the new digest
-AND bump ``repro.version.__version__`` so stale cache entries are
-invalidated (see README "Reproducibility contract").
+* ``smoke`` runs its full grid — the digest was recorded on the
+  pre-PR-3 seed kernel (commit 3385e6c) and has been preserved
+  bit-for-bit by every kernel change since.
+* ``bench`` / ``dense`` / ``sparse`` / ``multiflow`` run miniature
+  :meth:`~repro.experiments.SweepSettings.shrink` variants that keep
+  each profile's character (protocol set, node density, flow count)
+  while finishing in seconds.  Their digests were recorded on the PR-4
+  kernel, which the smoke digest proves is behaviourally identical to
+  the seed kernel.
+
+Together they cover every protocol the profiles exercise, both mobility
+densities, and the multi-flow traffic path.  If one of these tests
+fails, simulation behaviour changed.  Either find the regression, or —
+if the change is intentional — re-record the digest AND bump
+``repro.version.__version__`` so stale cache entries are invalidated
+(see README "Reproducibility contract").
 """
 
 from __future__ import annotations
 
 import hashlib
 
-from repro.experiments import SweepSettings, run_speed_sweep
+import pytest
+
+from repro.experiments import SWEEP_PROFILES, SweepSettings, run_speed_sweep
 
 #: sha256 of SweepResult.to_json() for SweepSettings.smoke() on the seed
 #: kernel (recorded before any PR-3 kernel change).
@@ -26,12 +36,43 @@ SMOKE_SWEEP_SHA256 = (
     "15879a1fe19681d79318d28a11070c6390ab34eaa74f5fa10d71be5a913ce399"
 )
 
+#: profile name -> (settings factory, pinned sha256 of the serialized sweep).
+GOLDEN_SWEEPS = {
+    "smoke": (
+        SweepSettings.smoke,
+        SMOKE_SWEEP_SHA256,
+    ),
+    "bench": (
+        lambda: SweepSettings.bench().shrink(),
+        "5986d7ed342dfa9b90b6d11c474fd88e624e2c61ffb2d5ea24c601e684f42c8d",
+    ),
+    "dense": (
+        lambda: SweepSettings.dense().shrink(),
+        "712e3d36a320bf86207ba7d251c5e3a5d488fdf76c501580371f487abb0725cc",
+    ),
+    "sparse": (
+        lambda: SweepSettings.sparse().shrink(),
+        "71e97b9adb21881045982ab93c10a08f66446908f3b09910bef24fe4c26fd9b0",
+    ),
+    "multiflow": (
+        lambda: SweepSettings.multiflow().shrink(),
+        "d767a38398423214d2dfe693d8f754874e091d5b78549ef524b7addaf4618fe1",
+    ),
+}
 
-def test_smoke_sweep_matches_seed_kernel_digest():
-    payload = run_speed_sweep(SweepSettings.smoke()).to_json()
+
+def test_every_runnable_profile_is_pinned():
+    """Each canned profile except ``paper`` must have a golden digest."""
+    assert sorted(GOLDEN_SWEEPS) == sorted(set(SWEEP_PROFILES) - {"paper"})
+
+
+@pytest.mark.parametrize("profile", sorted(GOLDEN_SWEEPS))
+def test_sweep_matches_golden_digest(profile):
+    factory, expected = GOLDEN_SWEEPS[profile]
+    payload = run_speed_sweep(factory()).to_json()
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
-    assert digest == SMOKE_SWEEP_SHA256, (
-        "optimized kernel diverged from the seed kernel: the serialized "
-        "smoke SweepResult is no longer byte-identical (see this test's "
-        "docstring for what to do)"
+    assert digest == expected, (
+        f"kernel behaviour diverged on the {profile!r} profile: the "
+        f"serialized SweepResult is no longer byte-identical (see this "
+        f"module's docstring for what to do)"
     )

@@ -1,17 +1,37 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests (hypothesis + seeded random generators).
+
+Besides the hypothesis invariants for the core data structures, this
+module holds the randomized JSON round-trip suite for every artifact
+that crosses a process boundary — :class:`ScenarioConfig`,
+:class:`ScenarioResult`, :class:`SweepSettings` and :class:`SweepShard`.
+Those use hand-rolled ``random.Random(seed)`` generators (one seed per
+parametrized case) instead of hypothesis so the exact inputs are
+reproducible from the test id alone — the same discipline as the
+simulator's named RNG streams.
+"""
 
 from __future__ import annotations
 
 import math
+import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.checking import SourceRouteSelector
 from repro.core.disjoint import differ_in_first_and_last_hop, is_valid_path
 from repro.core.paths import PathSet
+from repro.exec import ShardSpec, SweepShard, config_key
+from repro.experiments.sweep import SweepSettings
 from repro.metrics.relay import normalize_relay_counts, relay_share_std
 from repro.metrics.security import highest_interception_ratio, interception_ratio
 from repro.mobility.random_waypoint import RandomWaypoint
+from repro.scenario.config import (
+    SUPPORTED_MOBILITY,
+    SUPPORTED_PROTOCOLS,
+    ScenarioConfig,
+)
+from repro.scenario.results import ScenarioResult
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.transport.rto import RtoEstimator
@@ -164,6 +184,168 @@ def test_highest_interception_dominates_every_node(counts, pr):
     highest = highest_interception_ratio(counts, pr)
     for count in counts.values():
         assert highest >= count / pr - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# randomized JSON round trips (seeded generators, reproducible per test id)
+# --------------------------------------------------------------------------- #
+def _random_config(rng: random.Random) -> ScenarioConfig:
+    """A random *valid* scenario configuration."""
+    n_nodes = rng.randint(4, 40)
+    mobility = rng.choice(SUPPORTED_MOBILITY)
+    params = dict(
+        protocol=rng.choice(SUPPORTED_PROTOCOLS),
+        n_nodes=n_nodes,
+        field_size=(rng.uniform(300.0, 2000.0), rng.uniform(300.0, 2000.0)),
+        mobility_model=mobility,
+        max_speed=rng.uniform(0.5, 25.0),
+        min_speed=rng.uniform(0.0, 0.5),
+        pause_time=rng.uniform(0.0, 5.0),
+        transmission_range=rng.uniform(100.0, 400.0),
+        queue_capacity=rng.randint(5, 100),
+        mac_retry_limit=rng.randint(1, 10),
+        use_rts_cts=rng.random() < 0.5,
+        traffic_start=rng.uniform(0.0, 3.0),
+        tcp_packet_size=rng.randint(100, 1500),
+        tcp_window=rng.randint(1, 32),
+        with_eavesdropper=rng.random() < 0.7,
+        mts_check_interval=rng.uniform(0.5, 10.0),
+        mts_max_paths=rng.randint(1, 8),
+        mts_strict_disjoint=rng.random() < 0.5,
+        sim_time=rng.uniform(1.0, 100.0),
+        seed=rng.randint(0, 2 ** 31),
+        trace=rng.random() < 0.5,
+    )
+    if rng.random() < 0.4:
+        flows = []
+        for _ in range(rng.randint(1, min(4, n_nodes // 2))):
+            src = rng.randrange(n_nodes)
+            dst = rng.randrange(n_nodes)
+            if src != dst:
+                flows.append((src, dst))
+        if flows:
+            params["flows"] = flows
+    else:
+        params["n_flows"] = rng.randint(1, n_nodes // 2)
+    if rng.random() < 0.5:
+        params["eavesdropper_node"] = rng.randrange(n_nodes)
+    if mobility == "static" and rng.random() < 0.7:
+        params["static_positions"] = [
+            (rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0))
+            for _ in range(n_nodes)]
+    return ScenarioConfig(**params)
+
+
+def _random_result(rng: random.Random) -> ScenarioResult:
+    """A random (not necessarily physical) result record."""
+    n_nodes = rng.randint(4, 40)
+    return ScenarioResult(
+        protocol=rng.choice(SUPPORTED_PROTOCOLS),
+        seed=rng.randint(0, 2 ** 31),
+        max_speed=rng.uniform(0.5, 25.0),
+        sim_time=rng.uniform(1.0, 200.0),
+        flows=[(rng.randrange(n_nodes), rng.randrange(n_nodes))
+               for _ in range(rng.randint(1, 4))],
+        eavesdropper_node=(rng.randrange(n_nodes)
+                           if rng.random() < 0.7 else None),
+        participating_nodes=rng.randint(0, n_nodes),
+        relay_std=rng.uniform(0.0, 0.5),
+        relay_counts={rng.randrange(n_nodes): rng.randint(0, 10_000)
+                      for _ in range(rng.randint(0, n_nodes))},
+        packets_eavesdropped=rng.randint(0, 10_000),
+        packets_received=rng.randint(0, 10_000),
+        interception_ratio=rng.uniform(0.0, 1.0),
+        highest_interception_ratio=rng.uniform(0.0, 1.0),
+        mean_delay=rng.uniform(0.0, 5.0),
+        throughput_segments=rng.randint(0, 50_000),
+        throughput_kbps=rng.uniform(0.0, 2000.0),
+        delivery_rate=rng.uniform(0.0, 1.0),
+        control_overhead=rng.randint(0, 100_000),
+        sender_stats=[{"segments_sent": float(rng.randint(0, 1000)),
+                       "rtx": rng.uniform(0.0, 100.0)}
+                      for _ in range(rng.randint(0, 3))],
+        sink_stats=[{"segments_received": float(rng.randint(0, 1000))}
+                    for _ in range(rng.randint(0, 3))],
+        control_by_kind={kind: rng.randint(0, 5000)
+                         for kind in rng.sample(("RREQ", "RREP", "RERR",
+                                                 "CHECK"),
+                                                rng.randint(0, 4))},
+        events_processed=rng.randint(0, 10 ** 7),
+    )
+
+
+def _random_settings(rng: random.Random) -> SweepSettings:
+    """A random sweep grid definition (never simulated here)."""
+    protocols = tuple(rng.sample(SUPPORTED_PROTOCOLS,
+                                 rng.randint(1, len(SUPPORTED_PROTOCOLS))))
+    overrides = {}
+    if rng.random() < 0.7:
+        overrides["sim_time"] = rng.uniform(1.0, 50.0)
+    if rng.random() < 0.7:
+        overrides["n_nodes"] = rng.randint(4, 60)
+    if rng.random() < 0.5:
+        overrides["field_size"] = (rng.uniform(300.0, 2000.0),
+                                   rng.uniform(300.0, 2000.0))
+    return SweepSettings(
+        protocols=protocols,
+        speeds=tuple(sorted(rng.uniform(0.5, 25.0)
+                            for _ in range(rng.randint(1, 5)))),
+        replications=rng.randint(1, 5),
+        base_seed=rng.randint(0, 10_000),
+        config_overrides=overrides,
+    )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_config_round_trips_with_stable_key(seed):
+    config = _random_config(random.Random(seed))
+    restored = ScenarioConfig.from_json(config.to_json())
+    assert restored == config
+    assert config_key(restored) == config_key(config)
+    # The cache key must ignore trace (logging-only) but nothing else.
+    assert config_key(config.replace(trace=not config.trace)) \
+        == config_key(config)
+    assert config_key(config.replace(seed=config.seed + 1)) \
+        != config_key(config)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_result_round_trips_exactly(seed):
+    result = _random_result(random.Random(seed))
+    restored = ScenarioResult.from_json(result.to_json())
+    assert restored == result
+    assert all(isinstance(node, int) for node in restored.relay_counts)
+    assert all(isinstance(flow, tuple) for flow in restored.flows)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_settings_round_trip_preserves_grid_and_keys(seed):
+    sweep_settings = _random_settings(random.Random(seed))
+    restored = SweepSettings.from_json(sweep_settings.to_json())
+    assert restored == sweep_settings
+    assert restored.grid() == sweep_settings.grid()
+    # Cache keys — hence shard plans — survive the JSON trip unchanged.
+    assert [config_key(config) for config in restored.cell_configs()] \
+        == [config_key(config) for config in sweep_settings.cell_configs()]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_shard_artifact_round_trips_exactly(seed):
+    rng = random.Random(seed)
+    sweep_settings = _random_settings(rng)
+    grid_size = len(sweep_settings.grid())
+    count = rng.randint(1, 4)
+    piece = SweepShard(
+        settings=sweep_settings,
+        shard=ShardSpec(index=rng.randrange(count), count=count),
+        results={index: _random_result(rng)
+                 for index in rng.sample(range(grid_size),
+                                         rng.randint(0, grid_size))},
+    )
+    restored = SweepShard.from_json(piece.to_json())
+    assert restored.settings == piece.settings
+    assert restored.shard == piece.shard
+    assert restored.results == piece.results
 
 
 # --------------------------------------------------------------------------- #
