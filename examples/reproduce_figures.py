@@ -40,6 +40,7 @@ import argparse
 import sys
 import time
 
+from repro.cli.sweep import add_propagation_options, apply_propagation_overrides
 from repro.exec import (
     ClusterExecutor,
     add_executor_options,
@@ -61,8 +62,11 @@ from repro.experiments import (
 from repro.scenario import ScenarioConfig
 
 
-def build_settings(profile: str) -> SweepSettings:
-    return sweep_profile(profile)
+def build_settings(profile: str, propagation: str = None,
+                   propagation_params: list = None) -> SweepSettings:
+    """The profile's grid, optionally under a different propagation model."""
+    return apply_propagation_overrides(sweep_profile(profile), propagation,
+                                       propagation_params)
 
 
 def render_from_artifact(path: str) -> int:
@@ -89,6 +93,7 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="bench",
                         choices=sorted(SWEEP_PROFILES))
+    add_propagation_options(parser)
     parser.add_argument("--skip-table1", action="store_true",
                         help="skip the Table I walkthrough run")
     add_executor_options(parser)
@@ -120,7 +125,11 @@ def main() -> None:
     if args.from_artifact:
         return render_from_artifact(args.from_artifact)
 
-    settings = build_settings(args.profile)
+    try:
+        settings = build_settings(args.profile, args.propagation,
+                                  args.propagation_params)
+    except ValueError as exc:
+        parser.error(str(exc))
     scheduler = None
     if args.scheduler is not None:
         scheduler = ClusterExecutor(

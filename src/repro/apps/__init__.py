@@ -10,3 +10,30 @@ from repro.apps.ftp import FtpApplication
 from repro.apps.cbr import CbrApplication
 
 __all__ = ["FtpApplication", "CbrApplication"]
+
+
+# ---------------------------------------------------------------------- #
+# registry self-registration (see repro.registry)
+# ---------------------------------------------------------------------- #
+# An application factory drives one flow's transport *sender*.  The
+# `requires_transport` metadata names the transport `kind` the app can
+# drive; ScenarioConfig rejects mismatched stacks up front.
+from repro.registry import APPLICATION, Param  # noqa: E402
+
+
+@APPLICATION.register("ftp", requires_transport="tcp", params=(
+    Param("stop_time", (float,), "stop offering data at this time"),
+    Param("total_bytes", (int,), "finite transfer size (default: forever)"),
+), description="bulk transfer keeping the TCP backlog non-empty "
+               "(the paper's workload)")
+def _make_ftp(config, params, *, sim, transport, start_time):
+    return FtpApplication(sim, transport, start_time=start_time, **params)
+
+
+@APPLICATION.register("cbr", requires_transport="udp", params=(
+    Param("packet_size", (int,), "datagram size in bytes"),
+    Param("interval", (float,), "seconds between datagrams"),
+    Param("stop_time", (float,), "stop sending at this time"),
+), description="constant-bit-rate datagrams over UDP")
+def _make_cbr(config, params, *, sim, transport, start_time):
+    return CbrApplication(sim, transport, start_time=start_time, **params)

@@ -95,6 +95,15 @@ def _sparse_profile() -> BenchProfile:
         cases=_sweep_cases(SweepSettings.sparse(), sim_time=15.0))
 
 
+def _shadowing_profile() -> BenchProfile:
+    return BenchProfile(
+        name="shadowing",
+        description="Per-protocol cells of SweepSettings.shadowing(): the "
+                    "log-normal shadowing propagation workload (probabilistic "
+                    "links; exercises the registry-selected stack).",
+        cases=_sweep_cases(SweepSettings.shadowing(), sim_time=15.0))
+
+
 def _scale_profile() -> BenchProfile:
     #: (n_nodes, field side in metres, seconds) at ~constant density.
     ladder = ((50, 1000.0, 10.0), (100, 1400.0, 10.0),
@@ -122,6 +131,7 @@ _PROFILE_FACTORIES = {
     "dense": _dense_profile,
     "sparse": _sparse_profile,
     "scale": _scale_profile,
+    "shadowing": _shadowing_profile,
 }
 
 #: Public, stable listing of the available profile names.

@@ -3,7 +3,7 @@
 Usage::
 
     repro-bench [--profile P ...] [--out-dir DIR] [--quiet]
-    repro-bench --list
+    repro-bench --list  (alias: --list-profiles)
     repro-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
 
 Runs each requested profile (default: ``smoke``) and writes one
@@ -98,7 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: current directory)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
-    parser.add_argument("--list", action="store_true",
+    parser.add_argument("--list", "--list-profiles", action="store_true",
                         help="list the available profiles and exit")
     args = parser.parse_args(argv)
 

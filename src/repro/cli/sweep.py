@@ -3,11 +3,21 @@
 Subcommands::
 
     repro-sweep run    [--profile P | --settings-json FILE] [--shard i/K]
-                       [--scheduler K [--max-retries N] [--inject-fault F]]
+                       [--propagation MODEL [--propagation-param K=V ...]]
+                       [--scheduler K [--max-retries N] [--inject-fault F]
+                        [--worker-timeout S] [--inject-hang F]]
                        [--workers N] [--cache DIR] [--out PATH] [--quiet]
+                       [--list-profiles]
     repro-sweep plan   [--profile P | --settings-json FILE] --shards K
     repro-sweep merge  --out PATH SHARD [SHARD ...]
     repro-sweep render ARTIFACT [--figure ID ...] [--table1]
+
+``--propagation`` overrides the propagation model of every grid cell
+(any name registered in :data:`repro.registry.PROPAGATION`, e.g.
+``two_ray`` or ``log_distance_shadowing``); ``--propagation-param``
+passes model parameters such as ``sigma_db=6``.  ``--list-profiles``
+prints the canned grid profiles plus the registered stack components
+and exits.
 
 ``run --scheduler K`` runs the whole grid through the streaming shard
 scheduler (:class:`repro.exec.ClusterExecutor`): cells already in the
@@ -39,6 +49,8 @@ version** (behaviour-changing PRs bump ``repro.version.__version__``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
@@ -66,13 +78,83 @@ from repro.experiments import (
     run_table1,
     sweep_profile,
 )
+from repro.experiments.sweep import describe_sweep_profiles
+from repro.registry import PROPAGATION, REGISTRIES
+
+
+def _parse_param_overrides(items: Optional[List[str]],
+                           flag: str) -> dict:
+    """Parse repeated ``KEY=VALUE`` items; values are JSON when possible."""
+    params = {}
+    for item in items or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"{flag} expects KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def apply_propagation_overrides(settings: SweepSettings,
+                                propagation: Optional[str],
+                                raw_params: Optional[List[str]],
+                                ) -> SweepSettings:
+    """Apply ``--propagation`` / ``--propagation-param`` to ``settings``.
+
+    Shared by ``repro-sweep`` and ``reproduce_figures.py``.  Raises
+    :class:`ValueError` (with the registry's did-you-mean messages) on
+    bad model or param names, before any cell is planned or dispatched.
+    """
+    if propagation is None and not raw_params:
+        return settings
+    overrides = dict(settings.config_overrides)
+    previous_model = overrides.get("propagation_model", "range")
+    if propagation is not None:
+        overrides["propagation_model"] = propagation
+    if propagation is not None and propagation != previous_model:
+        # Switching models: the profile's baked-in params belong to the
+        # old model and would (rightly) fail the new model's schema.
+        params = {}
+    else:
+        params = dict(overrides.get("propagation_params", {}))
+    params.update(_parse_param_overrides(raw_params, "--propagation-param"))
+    overrides["propagation_params"] = params
+    if not params:
+        overrides.pop("propagation_params")
+    PROPAGATION.validate_params(overrides.get("propagation_model", "range"),
+                                overrides.get("propagation_params"))
+    return dataclasses.replace(settings, config_overrides=overrides)
 
 
 def _load_settings(args: argparse.Namespace) -> SweepSettings:
     if args.settings_json:
         payload = Path(args.settings_json).read_text(encoding="utf-8")
-        return SweepSettings.from_json(payload)
-    return sweep_profile(args.profile)
+        settings = SweepSettings.from_json(payload)
+    else:
+        settings = sweep_profile(args.profile)
+    return apply_propagation_overrides(
+        settings, getattr(args, "propagation", None),
+        getattr(args, "propagation_params", None))
+
+
+def add_propagation_options(parser: argparse.ArgumentParser) -> None:
+    """Add ``--propagation`` / ``--propagation-param`` to ``parser``.
+
+    The single definition shared by ``repro-sweep`` and
+    ``reproduce_figures.py``; pair with
+    :func:`apply_propagation_overrides`.
+    """
+    parser.add_argument("--propagation", metavar="MODEL", default=None,
+                        choices=PROPAGATION.available(),
+                        help="override the propagation model of every run "
+                             f"(one of: "
+                             f"{', '.join(PROPAGATION.available())})")
+    parser.add_argument("--propagation-param", dest="propagation_params",
+                        action="append", metavar="KEY=VALUE",
+                        help="propagation model parameter (repeatable; "
+                             "e.g. sigma_db=6)")
 
 
 def _add_settings_options(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +165,7 @@ def _add_settings_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--settings-json", metavar="FILE", default=None,
                        help="load SweepSettings from a JSON file instead "
                             "(share one file across all shards)")
+    add_propagation_options(parser)
 
 
 # ---------------------------------------------------------------------- #
@@ -100,19 +183,39 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def cmd_list_profiles() -> int:
+    print("sweep profiles:")
+    print(describe_sweep_profiles())
+    print("\nregistered stack components (ScenarioConfig *_model fields):")
+    for layer, registry in REGISTRIES.items():
+        print(f"{layer}:")
+        print(registry.describe())
+    return 0
+
+
 def cmd_run_scheduler(args: argparse.Namespace,
                       settings: SweepSettings) -> int:
     total = len(settings.grid())
     try:
         faults = [FaultInjection.parse(text)
                   for text in args.inject_fault or []]
+        faults += [FaultInjection.parse(text, mode="hang")
+                   for text in args.inject_hang or []]
     except ValueError as exc:
-        print(f"--inject-fault: {exc}", file=sys.stderr)
+        print(f"--inject-fault/--inject-hang: {exc}", file=sys.stderr)
         return 2
     max_retries = 2 if args.max_retries is None else args.max_retries
     scheduler = ClusterExecutor(shards=args.scheduler,
                                 max_retries=max_retries,
-                                cache=args.cache, faults=faults)
+                                cache=args.cache, faults=faults,
+                                worker_timeout=args.worker_timeout)
     print(f"scheduler: {total} grid cell(s) across up to "
           f"{args.scheduler} worker shard(s)")
     started = time.time()
@@ -131,7 +234,8 @@ def cmd_run_scheduler(args: argparse.Namespace,
           f"{scheduler.cells_streamed} streamed from "
           f"{scheduler.workers_launched} worker(s) over "
           f"{scheduler.rounds} round(s); "
-          f"{scheduler.worker_failures} worker failure(s), "
+          f"{scheduler.worker_failures} worker failure(s) "
+          f"({scheduler.workers_timed_out} timed out), "
           f"{scheduler.temp_files_swept} orphan temp file(s) swept")
     if args.out:
         sweep.save(args.out)
@@ -141,18 +245,32 @@ def cmd_run_scheduler(args: argparse.Namespace,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    settings = _load_settings(args)
+    if args.list_profiles:
+        return cmd_list_profiles()
+    try:
+        settings = _load_settings(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.scheduler is not None:
         if args.shard != "0/1":
             print("--scheduler and --shard are mutually exclusive "
                   "(the scheduler plans its own shards)", file=sys.stderr)
             return 2
+        if args.inject_hang and args.worker_timeout is None:
+            # A hung worker is only ever recovered by the timeout
+            # heartbeat; without one the run would block forever.
+            print("--inject-hang requires --worker-timeout",
+                  file=sys.stderr)
+            return 2
         return cmd_run_scheduler(args, settings)
-    if args.inject_fault or args.max_retries is not None:
+    if (args.inject_fault or args.inject_hang
+            or args.max_retries is not None
+            or args.worker_timeout is not None):
         # Silently ignoring these would let a CI script believe its
         # fault-injection path ran when nothing was injected.
-        print("--inject-fault/--max-retries require --scheduler",
-              file=sys.stderr)
+        print("--inject-fault/--inject-hang/--max-retries/--worker-timeout "
+              "require --scheduler", file=sys.stderr)
         return 2
     shard = ShardSpec.parse(args.shard)
     executor = executor_from_args(args)
@@ -189,7 +307,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    settings = _load_settings(args)
+    try:
+        settings = _load_settings(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     plans = plan_shards(settings, args.shards)
     grid = settings.grid()
     for index, mine in enumerate(plans):
@@ -250,6 +372,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministically kill the worker of unit U in "
                           "round R (default 0) after C completed cells "
                           "(scheduler mode; testing/CI knob; repeatable)")
+    run.add_argument("--worker-timeout", type=_positive_float, default=None,
+                     metavar="SECONDS",
+                     help="terminate and rebalance any worker showing no "
+                          "progress (no new cached cells) for SECONDS; "
+                          "must comfortably exceed the slowest single "
+                          "cell plus worker startup (scheduler mode; "
+                          "recovers hung-but-alive workers)")
+    run.add_argument("--inject-hang", action="append", metavar="U:C[:R]",
+                     help="deterministically hang (not kill) the worker of "
+                          "unit U in round R after C completed cells; "
+                          "requires --worker-timeout (scheduler mode; "
+                          "testing/CI knob; repeatable)")
+    run.add_argument("--list-profiles", action="store_true",
+                     help="list the canned grid profiles and the "
+                          "registered stack components, then exit")
     add_executor_options(run)
     run.add_argument("--out", metavar="PATH", default=None,
                      help="write the artifact here: a full SweepResult "

@@ -51,3 +51,27 @@ __all__ = [
     "MtsAgent",
     "MtsConfig",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# registry self-registration (see repro.registry)
+# ---------------------------------------------------------------------- #
+# MTS registers here, in its home package, next to the DSR/AODV/AOMDV
+# registrations in repro.routing — registering it from repro.routing
+# would be a circular import (repro.core.mts builds on
+# repro.routing.base).
+import dataclasses as _dataclasses  # noqa: E402
+
+from repro.registry import ROUTING, params_from_dataclass  # noqa: E402
+
+
+@ROUTING.register("MTS", params=params_from_dataclass(MtsConfig),
+                  description="the paper's multipath traffic-splitting "
+                              "protocol")
+def _make_mts(config, params, *, sim, node, metrics):
+    mts_config = MtsConfig(max_disjoint_paths=config.mts_max_paths,
+                           check_interval=config.mts_check_interval,
+                           strict_node_disjoint=config.mts_strict_disjoint)
+    if params:
+        mts_config = _dataclasses.replace(mts_config, **params)
+    return MtsAgent(sim, node, mts_config, metrics)

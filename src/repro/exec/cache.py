@@ -167,6 +167,25 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def has_current(self, config: ScenarioConfig) -> bool:
+        """Whether a valid, current-version entry for ``config`` exists.
+
+        The same version/format guards as :meth:`get`, but without
+        deserializing the result and without touching the hit/miss
+        counters — a cheap existence probe (used by the scheduler's
+        progress heartbeat, where only *whether* a cell completed
+        matters, not its content).
+        """
+        try:
+            payload = json.loads(
+                self.path_for(config).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return (isinstance(payload, dict)
+                and payload.get("version") == CACHE_FORMAT_VERSION
+                and payload.get("repro_version") == __version__
+                and "result" in payload)
+
     def lookup(self, configs: Sequence[ScenarioConfig],
                ) -> Tuple[Dict[int, ScenarioResult], List[int]]:
         """Batch :meth:`get`: split ``configs`` into hits and misses.

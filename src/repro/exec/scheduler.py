@@ -45,7 +45,10 @@ Fault injection (tests / CI) is deterministic: a
 :class:`FaultInjection` names a scheduling round and work unit, and the
 worker entry point kills its own process (``os._exit``) after the given
 number of completed cells — after the cell's cache write, before the
-shard artifact is sent, exactly like a machine lost mid-shard.
+shard artifact is sent, exactly like a machine lost mid-shard.  A
+``mode="hang"`` fault instead wedges the worker (alive, no progress),
+which the per-worker ``worker_timeout`` heartbeat detects: the wedged
+process is terminated and its unit rebalanced like any other failure.
 
 This module imports the sweep layer lazily inside functions (same
 circular-import idiom as :mod:`repro.exec.shard`).
@@ -59,6 +62,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import tempfile
+import time
 from typing import (
     Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union,
 )
@@ -97,18 +101,23 @@ class SchedulerError(RuntimeError):
 
 @dataclasses.dataclass(frozen=True)
 class FaultInjection:
-    """Deterministic kill-after-N-cells knob for scheduler workers.
+    """Deterministic kill- or hang-after-N-cells knob for scheduler workers.
 
-    Kills the worker running work unit ``unit`` of scheduling round
-    ``round`` once ``after_cells`` of its cells have completed (and been
-    written to the cache) — before the shard artifact is sent back.
-    Purely a test/CI instrument: it exercises exactly the code path a
-    crashed or preempted worker machine would.
+    With ``mode="kill"`` (the default) the worker running work unit
+    ``unit`` of scheduling round ``round`` kills its own process once
+    ``after_cells`` of its cells have completed (and been written to the
+    cache) — before the shard artifact is sent back.  With
+    ``mode="hang"`` the worker instead stops making progress while
+    staying alive (sleeping forever), which only a ``worker_timeout``
+    can recover from — the hung-but-alive machine case.  Purely a
+    test/CI instrument: both exercise exactly the code paths a crashed
+    or wedged worker machine would.
     """
 
     unit: int
     after_cells: int
     round: int = 0
+    mode: str = "kill"
 
     def __post_init__(self) -> None:
         if self.unit < 0:
@@ -117,11 +126,22 @@ class FaultInjection:
             raise ValueError("fault after_cells must be >= 1")
         if self.round < 0:
             raise ValueError("fault round must be >= 0")
+        if self.mode not in ("kill", "hang"):
+            raise ValueError(f"fault mode must be 'kill' or 'hang', "
+                             f"got {self.mode!r}")
 
     @classmethod
-    def parse(cls, text: str) -> "FaultInjection":
-        """Parse the CLI form ``"unit:after_cells[:round]"``."""
+    def parse(cls, text: str, mode: str = "kill") -> "FaultInjection":
+        """Parse the form ``"unit:after_cells[:round][:mode]"``.
+
+        ``mode`` is the default when the text does not carry one (the
+        CLI maps ``--inject-fault``/``--inject-hang`` to it); a trailing
+        ``:kill``/``:hang`` — the :meth:`__str__` form — wins, so
+        ``parse(str(fault))`` round-trips.
+        """
         parts = text.split(":")
+        if parts and parts[-1] in ("kill", "hang"):
+            mode = parts.pop()
         if len(parts) not in (2, 3):
             raise ValueError(
                 f"expected a fault of the form 'unit:after_cells[:round]' "
@@ -132,10 +152,11 @@ class FaultInjection:
             raise ValueError(
                 f"expected a fault of the form 'unit:after_cells[:round]' "
                 f"(e.g. '0:1'), got {text!r}") from None
-        return cls(*numbers)
+        return cls(*numbers, mode=mode)
 
     def __str__(self) -> str:
-        return f"{self.unit}:{self.after_cells}:{self.round}"
+        base = f"{self.unit}:{self.after_cells}:{self.round}"
+        return base if self.mode == "kill" else f"{base}:{self.mode}"
 
 
 # ---------------------------------------------------------------------- #
@@ -155,6 +176,7 @@ def _scheduler_worker_main(conn, payload_json: str) -> None:
     settings = SweepSettings.from_dict(payload["settings"])
     indices: List[int] = [int(index) for index in payload["cells"]]
     fail_after = payload.get("fail_after_cells")
+    fail_mode = payload.get("fail_mode", "kill")
     grid = settings.grid()
     configs = [settings.cell_config(*grid[index]) for index in indices]
     cache = ResultCache(payload["cache_root"])
@@ -165,6 +187,12 @@ def _scheduler_worker_main(conn, payload_json: str) -> None:
                  result: ScenarioResult) -> None:
         completed[0] += 1
         if fail_after is not None and completed[0] >= fail_after:
+            if fail_mode == "hang":
+                # Alive but wedged: hold the pipe open and make no
+                # progress — only the scheduler's worker timeout can
+                # recover the round (the process is terminated then).
+                while True:
+                    time.sleep(3600.0)
             conn.close()
             os._exit(FAULT_EXIT_CODE)
 
@@ -220,6 +248,22 @@ class ClusterExecutor:
     max_retries:
         Extra scheduling rounds allowed after worker failures.  ``0``
         means a single round: any worker death fails the sweep.
+    worker_timeout:
+        Progress heartbeat in seconds.  A worker's deadline starts at
+        dispatch and is extended whenever new cells of its unit appear
+        in the shared cache root (each completed cell is written there
+        before the worker moves on), so a healthy worker with a large
+        unit of many cells is never reaped mid-run.  A worker that
+        makes no observable progress for ``worker_timeout`` seconds is
+        terminated and its unit rebalanced exactly like a crashed
+        worker — the heartbeat that keeps a hung-but-alive machine from
+        blocking its round forever.  The only progress signal is a
+        *completed cell*, so the timeout must comfortably exceed the
+        wall-clock of the slowest single cell plus worker startup
+        (process spawn and imports) — a smaller value reaps healthy
+        workers mid-cell and, repeated over ``max_retries`` rounds,
+        fails the sweep.  ``None`` (default) waits indefinitely (the
+        historical behaviour).
     cache:
         The shared :class:`ResultCache` (or a path).  ``None`` uses a
         private temporary cache root for the duration of the run —
@@ -241,6 +285,7 @@ class ClusterExecutor:
                  max_retries: int = 2,
                  cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
                  faults: Sequence[FaultInjection] = (),
+                 worker_timeout: Optional[float] = None,
                  mp_context: Union[str, multiprocessing.context.BaseContext,
                                    None] = None):
         if shards < 1:
@@ -249,9 +294,17 @@ class ClusterExecutor:
             raise ValueError("workers must be at least 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+        if worker_timeout is None and any(fault.mode == "hang"
+                                          for fault in faults):
+            # A wedged worker is only ever recovered by the heartbeat;
+            # without one run_sweep would block forever.
+            raise ValueError("hang-mode faults require a worker_timeout")
         self.shards = shards
         self.workers = workers or shards
         self.max_retries = max_retries
+        self.worker_timeout = worker_timeout
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -268,8 +321,11 @@ class ClusterExecutor:
         self.cells_streamed = 0
         #: Worker processes started across all rounds.
         self.workers_launched = 0
-        #: Workers that died before delivering their shard artifact.
+        #: Workers that died before delivering their shard artifact
+        #: (including the timed-out ones).
         self.worker_failures = 0
+        #: Workers terminated for exceeding ``worker_timeout``.
+        self.workers_timed_out = 0
         #: Scheduling rounds that dispatched at least one worker.
         self.rounds = 0
         #: Orphaned cache temp files removed after failed rounds.
@@ -324,7 +380,8 @@ class ClusterExecutor:
                                     min(self.shards, len(pending)),
                                     configs=configs)
             failed_units, dead_pids = self._run_round(
-                settings, grid, units, round_no, cache, merger, progress)
+                settings, grid, configs, units, round_no, cache, merger,
+                progress)
             self.rounds += 1
             if failed_units:
                 self.worker_failures += len(failed_units)
@@ -355,6 +412,7 @@ class ClusterExecutor:
     # ------------------------------------------------------------------ #
     def _run_round(self, settings: "SweepSettings",
                    grid: List[Tuple[str, float, int]],
+                   configs: List[ScenarioConfig],
                    units: List[List[int]], round_no: int,
                    cache: ResultCache, merger: ShardMerger,
                    progress: Optional[SweepProgress],
@@ -371,6 +429,9 @@ class ClusterExecutor:
                   if fault.round == round_no}
         queued = list(enumerate(units))
         live: Dict[object, Tuple[int, multiprocessing.Process]] = {}
+        deadlines: Dict[object, float] = {}
+        unit_cells: Dict[object, List[int]] = {}
+        cached_counts: Dict[object, int] = {}
         failed_units: List[int] = []
         dead_pids: List[int] = []
         try:
@@ -386,6 +447,7 @@ class ClusterExecutor:
                         "unit_count": len(units),
                         "fail_after_cells":
                             fault.after_cells if fault else None,
+                        "fail_mode": fault.mode if fault else "kill",
                     }, sort_keys=True)
                     receiver, sender = context.Pipe(duplex=False)
                     process = context.Process(
@@ -394,10 +456,22 @@ class ClusterExecutor:
                     process.start()
                     sender.close()
                     live[receiver] = (unit_index, process)
+                    if self.worker_timeout is not None:
+                        deadlines[receiver] = (time.monotonic()
+                                               + self.worker_timeout)
+                        unit_cells[receiver] = cells
+                        # Unit cells were cache misses when planned.
+                        cached_counts[receiver] = 0
                     self.workers_launched += 1
-                ready = multiprocessing.connection.wait(list(live))
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(0.0, min(deadlines.values())
+                                       - time.monotonic())
+                ready = multiprocessing.connection.wait(list(live),
+                                                        timeout=wait_timeout)
                 for receiver in ready:
                     unit_index, process = live.pop(receiver)
+                    deadlines.pop(receiver, None)
                     try:
                         artifact = receiver.recv()
                     except (EOFError, OSError):
@@ -416,6 +490,37 @@ class ClusterExecutor:
                     merger.add(piece)
                     self.cells_streamed += len(piece.results)
                     self._report(settings, grid, piece.results, progress)
+                # Heartbeat check.  A worker past its deadline gets one
+                # question: did new cells of its unit land in the shared
+                # cache since the last check?  If yes it is healthy but
+                # slow — extend the deadline.  If no it is alive but
+                # wedged — terminate it and let the rebalancing path
+                # treat it exactly like a crashed machine (cells it
+                # cached before wedging are recovered for free).
+                now = time.monotonic()
+                expired = [r for r, deadline in deadlines.items()
+                           if deadline <= now and r in live]
+                for receiver in expired:
+                    # has_current() enforces the repro-version guard, so
+                    # stale entries left by an older version (which made
+                    # these cells pending in the first place) never
+                    # count as progress — only cells this run wrote do.
+                    cached = sum(
+                        1 for index in unit_cells[receiver]
+                        if cache.has_current(configs[index]))
+                    if cached > cached_counts[receiver]:
+                        cached_counts[receiver] = cached
+                        deadlines[receiver] = now + self.worker_timeout
+                        continue
+                    unit_index, process = live.pop(receiver)
+                    del deadlines[receiver]
+                    process.terminate()
+                    process.join()
+                    receiver.close()
+                    failed_units.append(unit_index)
+                    self.workers_timed_out += 1
+                    if process.pid is not None:
+                        dead_pids.append(process.pid)
         finally:
             for _unit_index, process in live.values():
                 process.terminate()
@@ -437,6 +542,7 @@ class ClusterExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"ClusterExecutor(shards={self.shards}, "
                 f"workers={self.workers}, max_retries={self.max_retries}, "
+                f"worker_timeout={self.worker_timeout}, "
                 f"cache={self.cache!r})")
 
 

@@ -129,6 +129,26 @@ class SweepSettings:
         return cls(protocols=PAPER_PROTOCOLS, speeds=(5.0, 10.0, 20.0),
                    replications=2, config_overrides=config)
 
+    @classmethod
+    def shadowing(cls, **overrides) -> "SweepSettings":
+        """A smoke-sized grid under log-normal shadowing propagation.
+
+        Replaces the deterministic 250 m disc with
+        :class:`~repro.net.propagation.LogDistanceShadowing` (registry
+        name ``log_distance_shadowing``), so link existence becomes
+        probabilistic — the workload the ``propagation_model`` /
+        ``propagation_params`` scenario axes were added for.  Kept
+        smoke-sized so the determinism gate (two runs, ``cmp``) stays
+        cheap in CI.
+        """
+        config = dict(n_nodes=20, field_size=(800.0, 800.0), sim_time=10.0,
+                      propagation_model="log_distance_shadowing",
+                      propagation_params={"path_loss_exponent": 2.7,
+                                          "sigma_db": 4.0})
+        config.update(overrides)
+        return cls(protocols=("AODV", "MTS"), speeds=(5.0,),
+                   replications=1, config_overrides=config)
+
     def shrink(self, sim_time: float = 4.0, max_nodes: int = 20,
                max_speeds: int = 1, replications: int = 1) -> "SweepSettings":
         """A miniature variant of this grid for fast deterministic tests.
@@ -225,7 +245,21 @@ SWEEP_PROFILES = {
     "dense": SweepSettings.dense,
     "sparse": SweepSettings.sparse,
     "multiflow": SweepSettings.multiflow,
+    "shadowing": SweepSettings.shadowing,
 }
+
+
+def describe_sweep_profiles() -> str:
+    """One line per canned profile (CLI ``--list-profiles``).
+
+    The description is the first line of each profile factory's
+    docstring, so the listing can never drift from the code.
+    """
+    lines = []
+    for name in sorted(SWEEP_PROFILES):
+        doc = (SWEEP_PROFILES[name].__doc__ or "").strip().splitlines()
+        lines.append(f"  {name:<10} {doc[0] if doc else ''}")
+    return "\n".join(lines)
 
 
 def sweep_profile(name: str) -> SweepSettings:

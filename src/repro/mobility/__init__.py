@@ -25,3 +25,41 @@ __all__ = [
     "RandomWaypoint",
     "RandomWalk",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# registry self-registration (see repro.registry)
+# ---------------------------------------------------------------------- #
+# Factories receive the per-node RNG stream and node id; they must draw
+# from the RNG in exactly the order the historical builder did (static
+# placement draws two uniforms) so existing scenarios stay bit-for-bit.
+from repro.registry import MOBILITY, Param  # noqa: E402
+
+
+@MOBILITY.register("static", description="fixed positions (explicit or "
+                                         "uniformly random)")
+def _make_static(config, params, *, rng, node_id):
+    if config.static_positions is not None:
+        x, y = config.static_positions[node_id]
+    else:
+        x = float(rng.uniform(0, config.field_size[0]))
+        y = float(rng.uniform(0, config.field_size[1]))
+    return StaticMobility(x, y)
+
+
+@MOBILITY.register("random_walk", params=(
+    Param("leg_duration", (float,), "seconds per straight-line leg"),
+), description="random direction walk with boundary reflection")
+def _make_random_walk(config, params, *, rng, node_id):
+    return RandomWalk(rng, field_size=config.field_size,
+                      max_speed=config.max_speed,
+                      min_speed=config.min_speed, **params)
+
+
+@MOBILITY.register("random_waypoint",
+                   description="the paper's random waypoint model")
+def _make_random_waypoint(config, params, *, rng, node_id):
+    return RandomWaypoint(rng, field_size=config.field_size,
+                          max_speed=config.max_speed,
+                          min_speed=config.min_speed,
+                          pause_time=config.pause_time, **params)

@@ -204,3 +204,40 @@ class LogDistanceShadowing(PropagationModel):
     def __repr__(self) -> str:  # pragma: no cover
         return (f"LogDistanceShadowing(nominal_range_m={self.nominal_range_m}, "
                 f"n={self.path_loss_exponent}, sigma_db={self.sigma_db})")
+
+
+# ---------------------------------------------------------------------- #
+# registry self-registration (see repro.registry)
+# ---------------------------------------------------------------------- #
+# The factories take the whole ScenarioConfig (duck-typed; this module
+# never imports repro.scenario) so every model derives its nominal range
+# from the one `transmission_range` knob, exactly as the builder always
+# did for the default disc.
+from repro.registry import PROPAGATION, Param  # noqa: E402
+
+
+@PROPAGATION.register("range", params=(
+    Param("carrier_sense_factor", (float,),
+          "carrier-sense range as a multiple of the decode range"),
+), description="deterministic unit disc (paper default)")
+def _make_range(config, params):
+    return RangePropagation(config.transmission_range, **params)
+
+
+@PROPAGATION.register("two_ray", params=(
+    Param("tx_power_w", (float,), "transmit power in watts"),
+    Param("antenna_height_m", (float,), "antenna height in metres"),
+    Param("antenna_gain", (float,), "antenna gain (linear)"),
+    Param("frequency_hz", (float,), "carrier frequency in Hz"),
+), description="two-ray ground reflection, threshold at nominal range")
+def _make_two_ray(config, params):
+    return TwoRayGround(nominal_range_m=config.transmission_range, **params)
+
+
+@PROPAGATION.register("log_distance_shadowing", params=(
+    Param("path_loss_exponent", (float,), "path loss exponent (2..4)"),
+    Param("sigma_db", (float,), "log-normal shadowing std-dev in dB"),
+), description="log-distance path loss + log-normal shadowing")
+def _make_log_distance_shadowing(config, params):
+    return LogDistanceShadowing(nominal_range_m=config.transmission_range,
+                                **params)

@@ -3,19 +3,20 @@
 The builder performs the role of the paper's OTcl scenario scripts: it
 instantiates the simulator, the shared wireless channel, one full protocol
 stack per node (mobility, interface, priority queue, 802.11 MAC, routing
-agent), the TCP Reno/FTP flows, the passive eavesdropper, and the metrics
-collector, and wires everything together.  The resulting
-:class:`Scenario` exposes the pieces for inspection and a :meth:`run`
-method that executes the simulation and assembles a
-:class:`~repro.scenario.results.ScenarioResult`.
+agent), the per-flow transport/application pairs, the passive
+eavesdropper, and the metrics collector, and wires everything together.
+Every stack choice — mobility, propagation, routing, transport,
+application — is resolved by name through the :mod:`repro.registry`
+component registries, so the stack is data (``ScenarioConfig`` fields),
+not code.  The resulting :class:`Scenario` exposes the pieces for
+inspection and a :meth:`run` method that executes the simulation and
+assembles a :class:`~repro.scenario.results.ScenarioResult`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.apps.ftp import FtpApplication
-from repro.core.mts import MtsAgent, MtsConfig
 from repro.mac.dcf import DcfMac
 from repro.mac.params import MacParams
 from repro.metrics.collector import MetricsCollector
@@ -25,24 +26,17 @@ from repro.metrics.security import (
     interception_ratio,
 )
 from repro.metrics.tcp import compute_tcp_performance
-from repro.mobility.base import StaticMobility
-from repro.mobility.random_walk import RandomWalk
-from repro.mobility.random_waypoint import RandomWaypoint
 from repro.net.channel import WirelessChannel
 from repro.net.interface import WirelessInterface
 from repro.net.node import Node
-from repro.net.propagation import RangePropagation
 from repro.net.queue import PriorityQueue
-from repro.routing.aodv import AodvAgent, AodvConfig
-from repro.routing.aomdv import AomdvAgent, AomdvConfig
-from repro.routing.dsr import DsrAgent, DsrConfig
+from repro.registry import (
+    APPLICATION, MOBILITY, PROPAGATION, ROUTING, TRANSPORT,
+)
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
 from repro.security.eavesdropper import EavesdropperMonitor, choose_eavesdropper
 from repro.sim.engine import Simulator
-from repro.transport.tcp_base import TcpConfig
-from repro.transport.tcp_reno import TcpRenoSender
-from repro.transport.tcp_sink import TcpSink
 
 #: Base ports used for the TCP flows created by the builder.
 SENDER_PORT_BASE = 1000
@@ -56,8 +50,8 @@ class Scenario:
                  channel: WirelessChannel, nodes: List[Node],
                  metrics: MetricsCollector,
                  flows: List[Tuple[int, int]],
-                 senders: List[TcpRenoSender], sinks: List[TcpSink],
-                 apps: List[FtpApplication],
+                 senders: List[object], sinks: List[object],
+                 apps: List[object],
                  eavesdropper: Optional[EavesdropperMonitor]):
         self.config = config
         self.sim = sim
@@ -135,7 +129,9 @@ class ScenarioBuilder:
     def build(self) -> Scenario:
         config = self.config
         sim = Simulator(seed=config.seed, trace=config.trace)
-        propagation = RangePropagation(config.transmission_range)
+        propagation = PROPAGATION.create(config.propagation_model,
+                                         config.propagation_params,
+                                         config=config)
         channel = WirelessChannel(sim, propagation,
                                   max_node_speed=config.max_speed)
         mac_params = MacParams(data_rate=config.data_rate,
@@ -172,21 +168,8 @@ class ScenarioBuilder:
     def _build_mobility(self, sim: Simulator, node_id: int):
         config = self.config
         rng = sim.rng(f"mobility.{node_id}")
-        if config.mobility_model == "static":
-            if config.static_positions is not None:
-                x, y = config.static_positions[node_id]
-            else:
-                x = float(rng.uniform(0, config.field_size[0]))
-                y = float(rng.uniform(0, config.field_size[1]))
-            return StaticMobility(x, y)
-        if config.mobility_model == "random_walk":
-            return RandomWalk(rng, field_size=config.field_size,
-                              max_speed=config.max_speed,
-                              min_speed=config.min_speed)
-        return RandomWaypoint(rng, field_size=config.field_size,
-                              max_speed=config.max_speed,
-                              min_speed=config.min_speed,
-                              pause_time=config.pause_time)
+        return MOBILITY.create(config.mobility_model, config.mobility_params,
+                               config=config, rng=rng, node_id=node_id)
 
     def _build_node(self, sim: Simulator, channel: WirelessChannel,
                     mac_params: MacParams, metrics: MetricsCollector,
@@ -203,37 +186,29 @@ class ScenarioBuilder:
     def _build_routing(self, sim: Simulator, node: Node,
                        metrics: MetricsCollector):
         config = self.config
-        protocol = config.protocol
-        if protocol == "MTS":
-            mts_config = MtsConfig(max_disjoint_paths=config.mts_max_paths,
-                                   check_interval=config.mts_check_interval,
-                                   strict_node_disjoint=config.mts_strict_disjoint)
-            return MtsAgent(sim, node, mts_config, metrics)
-        if protocol == "DSR":
-            return DsrAgent(sim, node, DsrConfig(), metrics)
-        if protocol == "AODV":
-            return AodvAgent(sim, node, AodvConfig(), metrics)
-        if protocol == "AOMDV":
-            return AomdvAgent(sim, node, AomdvConfig(), metrics)
-        raise ValueError(f"unsupported protocol {protocol!r}")
+        return ROUTING.create(config.protocol, config.routing_params,
+                              config=config, sim=sim, node=node,
+                              metrics=metrics)
 
     def _build_traffic(self, sim: Simulator, nodes: List[Node],
                        flows: List[Tuple[int, int]]):
         config = self.config
-        tcp_config = TcpConfig(packet_size=config.tcp_packet_size,
-                               window=config.tcp_window)
         rng = sim.rng("traffic_start")
-        senders: List[TcpRenoSender] = []
-        sinks: List[TcpSink] = []
-        apps: List[FtpApplication] = []
+        senders: List[object] = []
+        sinks: List[object] = []
+        apps: List[object] = []
         for index, (src, dst) in enumerate(flows):
             sender_port = SENDER_PORT_BASE + index
             sink_port = SINK_PORT_BASE + index
-            sink = TcpSink(sim, nodes[dst], sink_port, tcp_config)
-            sender = TcpRenoSender(sim, nodes[src], sender_port, dst,
-                                   sink_port, tcp_config)
+            sender, sink = TRANSPORT.create(
+                config.transport_model, config.transport_params,
+                config=config, sim=sim, src_node=nodes[src],
+                dst_node=nodes[dst], dst=dst, sender_port=sender_port,
+                sink_port=sink_port)
             start = config.traffic_start + float(rng.uniform(0.0, 0.5))
-            app = FtpApplication(sim, sender, start_time=start)
+            app = APPLICATION.create(config.app_model, config.app_params,
+                                     config=config, sim=sim,
+                                     transport=sender, start_time=start)
             senders.append(sender)
             sinks.append(sink)
             apps.append(app)

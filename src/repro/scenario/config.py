@@ -15,11 +15,26 @@ import dataclasses
 import json
 from typing import Dict, List, Mapping, Optional, Tuple
 
-#: Routing protocols the scenario builder knows how to instantiate.
-SUPPORTED_PROTOCOLS = ("MTS", "DSR", "AODV", "AOMDV")
+from repro.registry import (
+    APPLICATION, MOBILITY, PROPAGATION, ROUTING, TRANSPORT,
+)
 
-#: Mobility models the scenario builder knows how to instantiate.
-SUPPORTED_MOBILITY = ("random_waypoint", "random_walk", "static")
+
+def __getattr__(name: str):
+    """``SUPPORTED_PROTOCOLS`` / ``SUPPORTED_MOBILITY``, registry-backed.
+
+    The historical hard-coded tuples are now computed from the
+    registries on every access (PEP 562), so registering a component —
+    even after this module was imported — is sufficient: there is no
+    second list to keep in sync, and importing this module alone does
+    not force the full layer-package import that a snapshot at module
+    level would.
+    """
+    if name == "SUPPORTED_PROTOCOLS":
+        return ROUTING.available()
+    if name == "SUPPORTED_MOBILITY":
+        return MOBILITY.available()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def normalize_config_fields(data: Mapping[str, object]) -> Dict[str, object]:
@@ -99,17 +114,51 @@ class ScenarioConfig:
     seed: int = 1
     trace: bool = False
 
+    # --- protocol stack (registry-resolved; see repro.registry) --------- #
+    #: Propagation model name; ``range`` is the paper's deterministic
+    #: 250 m disc, ``two_ray`` / ``log_distance_shadowing`` are the
+    #: physically richer alternatives.
+    propagation_model: str = "range"
+    propagation_params: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
+    #: Extra per-layer constructor parameters, validated against each
+    #: component's registered schema.
+    mobility_params: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
+    routing_params: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
+    #: Transport/application pair driving every flow (``tcp_reno``+``ftp``
+    #: is the paper's stack; ``udp``+``cbr`` isolates routing behaviour
+    #: from congestion control).
+    transport_model: str = "tcp_reno"
+    transport_params: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
+    app_model: str = "ftp"
+    app_params: Dict[str, object] = dataclasses.field(default_factory=dict)
+
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
         self.protocol = self.protocol.upper()
-        if self.protocol not in SUPPORTED_PROTOCOLS:
+        # Every layer choice resolves against its registry: unknown names
+        # fail here (with did-you-mean suggestions), and *_params are
+        # checked against the component's schema — before any worker
+        # process is dispatched.
+        ROUTING.validate_params(self.protocol, self.routing_params)
+        MOBILITY.validate_params(self.mobility_model, self.mobility_params)
+        PROPAGATION.validate_params(self.propagation_model,
+                                    self.propagation_params)
+        TRANSPORT.validate_params(self.transport_model,
+                                  self.transport_params)
+        APPLICATION.validate_params(self.app_model, self.app_params)
+        required = APPLICATION.resolve(self.app_model).metadata.get(
+            "requires_transport")
+        provided = TRANSPORT.resolve(self.transport_model).metadata.get(
+            "kind")
+        if required is not None and required != provided:
             raise ValueError(
-                f"unknown protocol {self.protocol!r}; expected one of "
-                f"{SUPPORTED_PROTOCOLS}")
-        if self.mobility_model not in SUPPORTED_MOBILITY:
-            raise ValueError(
-                f"unknown mobility model {self.mobility_model!r}; expected "
-                f"one of {SUPPORTED_MOBILITY}")
+                f"application {self.app_model!r} requires a {required!r} "
+                f"transport, but {self.transport_model!r} is "
+                f"{provided!r}")
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")
         # With explicit flows, n_flows is derived, never independent: a

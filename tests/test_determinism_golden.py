@@ -58,6 +58,15 @@ GOLDEN_SWEEPS = {
         lambda: SweepSettings.multiflow().shrink(),
         "d767a38398423214d2dfe693d8f754874e091d5b78549ef524b7addaf4618fe1",
     ),
+    # Already smoke-sized, so it runs its full grid like `smoke` does.
+    # Recorded on the PR-5 kernel, which the five digests above prove is
+    # behaviourally identical to the seed kernel for the default stack;
+    # this one additionally pins the LogDistanceShadowing reception path
+    # (probabilistic links drawn from the named "propagation" stream).
+    "shadowing": (
+        SweepSettings.shadowing,
+        "5623f9d6e98ff22abb07d99b0b4efd619c7521ca33ace0ce61655ee122e57f1f",
+    ),
 }
 
 

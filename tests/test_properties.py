@@ -233,6 +233,28 @@ def _random_config(rng: random.Random) -> ScenarioConfig:
         params["static_positions"] = [
             (rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0))
             for _ in range(n_nodes)]
+    # Registry-resolved stack axes (PR 5): exercised with the same
+    # probability mix so the round-trip suite covers nested *_params.
+    if rng.random() < 0.5:
+        propagation = rng.choice(("range", "two_ray",
+                                  "log_distance_shadowing"))
+        params["propagation_model"] = propagation
+        if propagation == "log_distance_shadowing" and rng.random() < 0.7:
+            params["propagation_params"] = {
+                "path_loss_exponent": rng.uniform(2.0, 4.0),
+                "sigma_db": rng.uniform(0.0, 8.0)}
+        elif propagation == "range" and rng.random() < 0.5:
+            params["propagation_params"] = {
+                "carrier_sense_factor": rng.uniform(1.0, 2.0)}
+    if rng.random() < 0.3:
+        params["transport_model"] = "udp"
+        params["app_model"] = "cbr"
+        if rng.random() < 0.5:
+            params["app_params"] = {"interval": rng.uniform(0.05, 1.0),
+                                    "packet_size": rng.randint(64, 1024)}
+    if rng.random() < 0.3:
+        params["routing_params"] = {"flood_cache_timeout":
+                                    rng.uniform(1.0, 30.0)}
     return ScenarioConfig(**params)
 
 
@@ -307,6 +329,31 @@ def test_random_config_round_trips_with_stable_key(seed):
         == config_key(config)
     assert config_key(config.replace(seed=config.seed + 1)) \
         != config_key(config)
+
+
+def test_stack_fields_round_trip_and_fold_into_config_key():
+    """The PR-5 stack axes must survive JSON and shift the cache key."""
+    base = ScenarioConfig.tiny()
+    shadowed = base.replace(
+        propagation_model="log_distance_shadowing",
+        propagation_params={"path_loss_exponent": 2.7, "sigma_db": 4.0})
+    restored = ScenarioConfig.from_json(shadowed.to_json())
+    assert restored == shadowed
+    assert config_key(restored) == config_key(shadowed)
+    # Every stack axis is part of the simulation's identity: changing
+    # the model or its params must change the cache key.
+    assert config_key(shadowed) != config_key(base)
+    assert config_key(shadowed.replace(
+        propagation_params={"path_loss_exponent": 2.7, "sigma_db": 6.0})) \
+        != config_key(shadowed)
+    assert config_key(base.replace(propagation_model="two_ray")) \
+        != config_key(base)
+    udp = base.replace(transport_model="udp", app_model="cbr")
+    assert config_key(udp) != config_key(base)
+    # ...while a default-valued explicit dict is the same simulation.
+    assert config_key(base.replace(propagation_params={})) \
+        == config_key(base)
+    assert config_key(base.replace(routing_params={})) == config_key(base)
 
 
 @pytest.mark.parametrize("seed", range(30))

@@ -60,6 +60,19 @@ class TestFaultInjection:
             with pytest.raises(ValueError):
                 FaultInjection.parse(text)
 
+    def test_hang_mode(self):
+        fault = FaultInjection.parse("0:1", mode="hang")
+        assert fault == FaultInjection(0, 1, mode="hang")
+        assert str(fault) == "0:1:0:hang"
+        # str/parse round-trips for both modes.
+        assert FaultInjection.parse(str(fault)) == fault
+        assert FaultInjection.parse(str(FaultInjection(1, 2, 3))) \
+            == FaultInjection(1, 2, 3)
+        # An explicit trailing mode wins over the parse default.
+        assert FaultInjection.parse("0:1:0:kill", mode="hang").mode == "kill"
+        with pytest.raises(ValueError, match="mode"):
+            FaultInjection(0, 1, mode="wedge")
+
 
 class TestPartition:
     def test_full_grid_partition_matches_the_shard_planner(self):
@@ -83,6 +96,29 @@ class TestPartition:
             partition_cells(tiny_settings(), [0], 0)
 
 
+def test_has_current_is_version_guarded_and_counter_free(tmp_path):
+    """The heartbeat's cache probe must reject other-version entries
+    (they are exactly why the cell was pending) and must not skew the
+    cache's hit/miss statistics."""
+    import json
+
+    from repro.scenario.config import ScenarioConfig
+    from repro.scenario.runner import run_scenario
+
+    cache = ResultCache(tmp_path / "cache")
+    config = ScenarioConfig.tiny(sim_time=2.0)
+    run_scenario(config, cache=cache)
+    counters = (cache.hits, cache.misses)
+    assert cache.has_current(config)
+    assert not cache.has_current(config.replace(seed=config.seed + 1))
+    entry = cache.path_for(config)
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload["repro_version"] = "0.0.0"
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+    assert not cache.has_current(config)
+    assert (cache.hits, cache.misses) == counters
+
+
 def test_pid_filtered_sweep_only_removes_known_dead_writers(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     dead = cache.root / f".{'ab' + 62 * '0'}.111.tmp"
@@ -101,6 +137,18 @@ class TestSchedulerValidation:
             ClusterExecutor(workers=0)
         with pytest.raises(ValueError):
             ClusterExecutor(max_retries=-1)
+        with pytest.raises(ValueError):
+            ClusterExecutor(worker_timeout=0.0)
+        with pytest.raises(ValueError):
+            ClusterExecutor(worker_timeout=-1.0)
+
+    def test_hang_faults_require_a_worker_timeout(self):
+        # Without the heartbeat a wedged worker would block run_sweep
+        # forever; the constructor rejects the combination up front.
+        with pytest.raises(ValueError, match="worker_timeout"):
+            ClusterExecutor(faults=[FaultInjection(0, 1, mode="hang")])
+        ClusterExecutor(faults=[FaultInjection(0, 1, mode="hang")],
+                        worker_timeout=5.0)
 
     def test_shard_scheduler_is_the_same_class(self):
         assert ShardScheduler is ClusterExecutor
@@ -174,6 +222,50 @@ class TestScheduledSweep:
         assert scheduler.cells_from_cache >= 1
         assert scheduler.cells_from_cache + scheduler.cells_streamed \
             == len(settings.grid())
+
+    def test_hung_worker_is_timed_out_and_rebalanced_bit_for_bit(
+            self, tmp_path):
+        """The PR-5 heartbeat criterion: a worker that wedges (alive, no
+        progress) after one cached cell is terminated by the progress
+        heartbeat and its remaining cells rebalanced; the merged sweep
+        is still byte-identical to the serial reference.
+
+        The heartbeat is progress-aware: the wedged worker's first
+        deadline is *extended* (its one completed cell counts as
+        progress since dispatch), and only the second, progress-free
+        deadline kills it — so this test also covers the
+        slow-but-healthy extension path.  Uses an extra-small grid
+        (2 s cells) so the unavoidable ~2×timeout wait stays short
+        while the timeout remains far above any healthy worker's
+        per-cell time.
+        """
+        settings = tiny_settings(
+            config_overrides=dict(n_nodes=10, field_size=(500.0, 500.0),
+                                  sim_time=2.0))
+        serial = run_speed_sweep(settings)
+        scheduler = ClusterExecutor(
+            shards=2, max_retries=2, cache=tmp_path / "cache",
+            worker_timeout=5.0,
+            faults=[FaultInjection(unit=0, after_cells=1, mode="hang")])
+        merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(serial)
+        assert scheduler.workers_timed_out == 1
+        assert scheduler.worker_failures == 1
+        assert scheduler.rounds >= 2
+        # The wedged worker cached one cell before hanging; rebalancing
+        # recovered it from the cache instead of re-simulating.
+        assert scheduler.cells_from_cache >= 1
+        assert scheduler.cells_from_cache + scheduler.cells_streamed \
+            == len(settings.grid())
+
+    def test_without_timeout_no_worker_is_reaped(self, tmp_path,
+                                                 tiny_serial):
+        """worker_timeout=None keeps the historical wait-forever path."""
+        settings = tiny_settings()
+        scheduler = ClusterExecutor(shards=2, cache=tmp_path / "cache")
+        merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(tiny_serial)
+        assert scheduler.workers_timed_out == 0
 
     def test_every_worker_killed_exhausts_retries(self, tmp_path):
         settings = tiny_settings()
