@@ -51,6 +51,29 @@ class CompareReport:
     total_delta_pct: float
 
     @property
+    def cross_host(self) -> bool:
+        """True when the artifacts carry different ``meta.host`` stamps.
+
+        Perf deltas between different machines are unreliable; the
+        comparison *warns* about this but does not fail — pre-meta
+        artifacts (no host stamp on one side) cannot be judged and count
+        as same-host.
+        """
+        base_host = (self.base.meta or {}).get("host")
+        new_host = (self.new.meta or {}).get("host")
+        return bool(base_host and new_host and base_host != new_host)
+
+    @property
+    def total_speedup(self) -> float:
+        """Candidate total events/sec as a ratio of the baseline (matched
+        cases); 1.0 = unchanged, 1.3 = 30 % faster."""
+        return 1.0 + self.total_delta_pct / 100.0
+
+    def meets_speedup(self, min_speedup: float) -> bool:
+        """True when the matched-case total speedup reaches the floor."""
+        return self.total_speedup >= min_speedup
+
+    @property
     def workload_changed(self) -> bool:
         """True when the two artifacts did not simulate the same workload.
 
@@ -65,16 +88,25 @@ class CompareReport:
         """True when total events/sec dropped by more than the threshold."""
         return self.total_delta_pct < -threshold_pct
 
-    def format(self, threshold_pct: Optional[float] = None) -> str:
+    def format(self, threshold_pct: Optional[float] = None,
+               min_speedup: Optional[float] = None) -> str:
         """Human-readable comparison table."""
+        base_host = (self.base.meta or {}).get("host", "?")
+        new_host = (self.new.meta or {}).get("host", "?")
         lines = [
             f"baseline:  {self.base.profile:<8} "
             f"(repro {self.base.repro_version}, "
-            f"py {self.base.python_version}, {self.base.machine})",
+            f"py {self.base.python_version}, {self.base.machine}, "
+            f"host {base_host})",
             f"candidate: {self.new.profile:<8} "
             f"(repro {self.new.repro_version}, "
-            f"py {self.new.python_version}, {self.new.machine})",
+            f"py {self.new.python_version}, {self.new.machine}, "
+            f"host {new_host})",
         ]
+        if self.cross_host:
+            lines.append(f"warning: cross-host comparison "
+                         f"({base_host} vs {new_host}) — perf deltas "
+                         f"between different machines are unreliable")
         for delta in self.deltas:
             note = "" if delta.events_match else "  [workload changed!]"
             lines.append(
@@ -94,17 +126,29 @@ class CompareReport:
                      f"{_matched_events_per_sec(self.new, matched):>10.0f}"
                      f" ev/s ({self.total_delta_pct:+7.2f} %, matched "
                      f"cases)")
-        if threshold_pct is not None:
+        if threshold_pct is not None or min_speedup is not None:
             if self.workload_changed:
                 lines.append("verdict: WORKLOAD CHANGED — event counts "
                              "differ; perf deltas are not comparable "
                              "(kernel behaviour changed, re-record the "
                              "baseline)")
-            elif self.regressed(threshold_pct):
+            elif (threshold_pct is not None
+                    and self.regressed(threshold_pct)):
                 lines.append(f"verdict: REGRESSION — total events/sec "
                              f"dropped more than {threshold_pct:g} %")
+            elif (min_speedup is not None
+                    and not self.meets_speedup(min_speedup)):
+                lines.append(f"verdict: TOO SLOW — total speedup "
+                             f"{self.total_speedup:.3f}x is below the "
+                             f"required {min_speedup:g}x")
             else:
-                lines.append(f"verdict: ok (threshold {threshold_pct:g} %)")
+                parts = []
+                if threshold_pct is not None:
+                    parts.append(f"threshold {threshold_pct:g} %")
+                if min_speedup is not None:
+                    parts.append(f"speedup {self.total_speedup:.3f}x >= "
+                                 f"{min_speedup:g}x")
+                lines.append(f"verdict: ok ({', '.join(parts)})")
         return "\n".join(lines)
 
 

@@ -20,9 +20,27 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Union
 
+import numpy
+
 from repro.bench.profiles import BenchCase, BenchProfile
 from repro.scenario.builder import ScenarioBuilder
 from repro.version import __version__
+
+
+def environment_meta() -> Dict[str, str]:
+    """Environment provenance stamp for a benchmark artifact.
+
+    Perf numbers are only comparable between like hosts, so every
+    artifact records where it was produced; ``repro-bench compare``
+    warns (without failing) when the ``host`` entries differ.
+    """
+    return {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro_version": __version__,
+    }
 
 
 @dataclasses.dataclass
@@ -47,6 +65,13 @@ class BenchCaseResult:
     #: includes grid_rebuilds, occupancy and candidate-set statistics).
     transmissions: int
     grid: Dict[str, float]
+    #: Horizon-batch statistics of the run loop (how many distinct
+    #: timestamps fired events, and the mean/max events per timestamp).
+    #: Defaulted so artifacts recorded before these counters existed
+    #: still load.
+    horizon_batches: int = 0
+    mean_batch_size: float = 0.0
+    max_batch_size: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible dictionary of every measurement."""
@@ -54,8 +79,14 @@ class BenchCaseResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BenchCaseResult":
-        """Rebuild a case result from :meth:`to_dict` output."""
-        return cls(**data)
+        """Rebuild a case result from :meth:`to_dict` output.
+
+        Tolerant of unknown keys (artifacts written by a newer version
+        than the reading code), which are silently dropped.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
 
 
 @dataclasses.dataclass
@@ -71,6 +102,9 @@ class BenchReport:
     machine: str = platform.machine()
     #: Unix timestamp of the run (wall-clock provenance, not an input).
     created_unix: float = 0.0
+    #: Full environment provenance (host, platform, python, numpy,
+    #: repro_version) — see :func:`environment_meta`.
+    meta: Dict[str, str] = dataclasses.field(default_factory=environment_meta)
 
     # ------------------------------------------------------------------ #
     def totals(self) -> Dict[str, float]:
@@ -94,6 +128,7 @@ class BenchReport:
             "python_version": self.python_version,
             "machine": self.machine,
             "created_unix": self.created_unix,
+            "meta": dict(self.meta),
             "cases": [case.to_dict() for case in self.cases],
             "totals": self.totals(),
         }
@@ -109,6 +144,9 @@ class BenchReport:
             python_version=data["python_version"],
             machine=data["machine"],
             created_unix=float(data["created_unix"]),
+            # Pre-meta artifacts load with an empty stamp rather than the
+            # reading host's (which would fake same-host provenance).
+            meta=dict(data.get("meta", {})),
         )
 
     def to_json(self) -> str:
@@ -166,6 +204,9 @@ def run_case(case: BenchCase) -> BenchCaseResult:
         cancelled_pending=sim.cancelled_pending,
         transmissions=scenario.channel.transmissions,
         grid=scenario.channel.grid_stats(),
+        horizon_batches=sim.horizon_batches,
+        mean_batch_size=sim.mean_batch_size,
+        max_batch_size=sim.max_batch_size,
     )
 
 

@@ -3,8 +3,11 @@
 Usage::
 
     repro-bench [--profile P ...] [--out-dir DIR] [--quiet]
+                [--compare-against REF.json [--threshold PCT]
+                 [--min-speedup RATIO]]
     repro-bench --list  (alias: --list-profiles)
     repro-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
+                [--min-speedup RATIO]
 
 Runs each requested profile (default: ``smoke``) and writes one
 ``BENCH_<profile>.json`` artifact per profile into ``--out-dir``
@@ -15,14 +18,20 @@ candidate-set sizes) — see :mod:`repro.bench`.
 
 ``compare`` diffs two artifacts (see :mod:`repro.bench.compare`): it
 prints per-case and total events/sec deltas and exits non-zero when the
-total drops by more than ``--threshold`` percent — or when the pinned
+total drops by more than ``--threshold`` percent, when ``--min-speedup``
+is given and the total speedup falls short of it — or when the pinned
 ``events`` counts differ, which means kernel behaviour (not just speed)
-changed and the baseline must be re-recorded.
+changed and the baseline must be re-recorded.  ``--compare-against`` on
+the main run path benches the requested profile and immediately gates it
+against a previously recorded reference artifact — this is what the CI
+``bench-gate`` job runs.
 
 Perf numbers are host-dependent; compare artifacts produced on the same
-machine.  The simulated workload itself is pinned (fixed seeds), so the
-``events`` column must not change across runs on any machine — if it
-does, kernel behaviour changed, not just its speed.
+machine (artifacts carry a ``meta`` environment stamp, and ``compare``
+warns on cross-host comparisons).  The simulated workload itself is
+pinned (fixed seeds), so the ``events`` column must not change across
+runs on any machine — if it does, kernel behaviour changed, not just
+its speed.
 """
 
 from __future__ import annotations
@@ -46,7 +55,9 @@ def _print_case(result: BenchCaseResult) -> None:
           f"occ(mean/max)={grid['mean_occupancy']:.1f}/"
           f"{grid['max_occupancy']:.0f} "
           f"cand(mean/max)={grid['mean_candidate_set']:.1f}/"
-          f"{grid['max_candidate_set']:.0f}", flush=True)
+          f"{grid['max_candidate_set']:.0f} "
+          f"batch(mean/max)={result.mean_batch_size:.2f}/"
+          f"{result.max_batch_size}", flush=True)
 
 
 def cmd_list() -> int:
@@ -68,6 +79,11 @@ def cmd_compare(argv: List[str]) -> int:
                         metavar="PCT",
                         help="maximum tolerated total events/sec drop in "
                              "percent (default: 10)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="RATIO",
+                        help="minimum required candidate/baseline total "
+                             "events/sec ratio (e.g. 1.3 = 30%% faster; "
+                             "default: no floor)")
     args = parser.parse_args(argv)
     try:
         report = compare_reports(BenchReport.load(args.baseline),
@@ -75,8 +91,11 @@ def cmd_compare(argv: List[str]) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(report.format(threshold_pct=args.threshold))
-    if report.workload_changed or report.regressed(args.threshold):
+    print(report.format(threshold_pct=args.threshold,
+                        min_speedup=args.min_speedup))
+    if (report.workload_changed or report.regressed(args.threshold)
+            or (args.min_speedup is not None
+                and not report.meets_speedup(args.min_speedup))):
         return 1
     return 0
 
@@ -100,12 +119,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="suppress per-case progress lines")
     parser.add_argument("--list", "--list-profiles", action="store_true",
                         help="list the available profiles and exit")
+    parser.add_argument("--compare-against", default=None, metavar="REF",
+                        help="after benching, compare the fresh artifact "
+                             "against this reference BENCH_*.json and exit "
+                             "non-zero on regression (the CI bench gate)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="with --compare-against: maximum tolerated "
+                             "total events/sec drop in percent "
+                             "(default: 10)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="RATIO",
+                        help="with --compare-against: minimum required "
+                             "candidate/reference total events/sec ratio")
     args = parser.parse_args(argv)
 
     if args.list:
         return cmd_list()
 
-    for name in args.profiles or ["smoke"]:
+    profiles = args.profiles or ["smoke"]
+    if args.compare_against is not None and len(profiles) != 1:
+        print("error: --compare-against requires exactly one --profile "
+              "(a reference artifact records a single profile)",
+              file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    for name in profiles:
         profile = bench_profile(name)
         print(f"profile {profile.name}: {len(profile.cases)} case(s)")
         report = run_profile(profile,
@@ -116,7 +156,22 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{totals['events_per_sec']:.0f} ev/s")
         path = report.save(args.out_dir)
         print(f"  wrote {path}")
-    return 0
+        if args.compare_against is not None:
+            try:
+                comparison = compare_reports(
+                    BenchReport.load(args.compare_against), report)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(comparison.format(threshold_pct=args.threshold,
+                                    min_speedup=args.min_speedup))
+            if (comparison.workload_changed
+                    or comparison.regressed(args.threshold)
+                    or (args.min_speedup is not None
+                        and not comparison.meets_speedup(
+                            args.min_speedup))):
+                exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

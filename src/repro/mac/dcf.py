@@ -209,13 +209,19 @@ class DcfMac:
             self._backoff_started_at = None
 
     def on_channel_idle(self) -> None:
-        """Interface upcall: the medium just became idle."""
+        """Interface upcall: the medium just became idle.
+
+        Hot path (fires after every reception drains): the NAV and
+        transmit checks are inlined attribute comparisons.
+        """
         # First, flush any MAC ACK / CTS waiting for the air to clear.
-        if self._pending_response_tx and not self.interface.is_transmitting:
+        now = self.sim.now
+        if (self._pending_response_tx
+                and not now < self.interface._transmitting_until):
             response = self._pending_response_tx.pop(0)
             self._transmit_response_now(response)
             return
-        if self._nav_busy():
+        if now < self._nav_until:
             return  # virtual carrier sense still holds us off
         if self.state == self.CONTEND:
             self._begin_contention()

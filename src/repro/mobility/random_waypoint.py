@@ -142,11 +142,35 @@ class RandomWaypoint(MobilityModel):
         return index
 
     def position(self, time: float) -> Tuple[float, float]:
+        # Hot path: called once per candidate receiver per transmission.
+        # The body is _segment_index + Waypoint.position inlined — the
+        # expressions MUST stay textually identical to those methods (the
+        # float-op order is part of the determinism contract).
         if time < 0:
             time = 0.0
         if time >= self._trajectory_end:
             self._extend_to(time + self._EXTEND_CHUNK)
-        return self._segments[self._segment_index(time)].position(time)
+        starts = self._segment_starts
+        index = self._cached_index
+        if not (index + 1 < len(starts)
+                and starts[index] <= time < starts[index + 1]):
+            index = bisect.bisect_right(starts, time) - 1
+            if index < 0:
+                index = 0
+            self._cached_index = index
+        seg = self._segments[index]
+        start_time = seg.start_time
+        end_time = seg.end_time
+        start_pos = seg.start_pos
+        if time <= start_time or end_time <= start_time:
+            return start_pos
+        end_pos = seg.end_pos
+        if time >= end_time:
+            return end_pos
+        frac = (time - start_time) / (end_time - start_time)
+        x = start_pos[0] + frac * (end_pos[0] - start_pos[0])
+        y = start_pos[1] + frac * (end_pos[1] - start_pos[1])
+        return (x, y)
 
     def speed_at(self, time: float) -> float:
         if time < 0:

@@ -9,23 +9,45 @@ the standard receiver-side collision model, which also captures hidden
 terminals because carrier sensing happens at the *sender* while collisions
 happen at the *receiver*.
 
-Scalability: instead of scanning all N interfaces on every transmission,
-the channel maintains a uniform spatial grid over node positions that is
-rebuilt lazily.  The grid cell size is the detection range plus a slack
-margin; the grid stays valid until some node could have moved farther
-than the slack, so rebuilds are amortised over many transmissions.  A
-transmission then only visits interfaces in the sender's grid cell and
-the eight adjacent cells — a superset of everything within detection
-range, by construction.  Exact positions and distances are still
-evaluated per candidate at the current time, and candidates are visited
-in registration order, so the event schedule (and therefore every
-simulation result) is bit-for-bit identical to the historical full scan.
+Scalability: the candidate set for a transmission is narrowed in two
+stages before any exact math runs, and both stages are conservative
+(supersets), so the event schedule — and therefore every simulation
+result — is bit-for-bit identical to the historical full scan.
+
+1. *Spatial grid.*  A uniform grid over node positions, rebuilt lazily:
+   the cell size is the signal reach plus a slack margin and the grid
+   stays valid until some node could have moved farther than the slack.
+   A transmission only considers interfaces in the sender's cell and the
+   eight adjacent cells — a superset of everything within reach, by
+   construction.  On fields the grid cannot partition (the 3×3 block
+   would cover the whole field anyway) the index collapses to a single
+   covering cell that never goes stale instead of pretending to filter.
+2. *Vectorized distance prefilter.*  Per-interface position arrays are
+   snapshotted on their own (tighter) slack horizon; one numpy
+   squared-distance pass over the candidate block drops every interface
+   whose stale distance exceeds ``detection range + position slack`` — no
+   such interface can currently be within detection range, so the exact
+   per-candidate evaluation that follows sees the same survivors the full
+   scalar scan would have accepted.
+
+Exact positions and distances for the surviving candidates are still
+evaluated with scalar ``math`` at the current time (numpy's ``hypot``
+differs from CPython's by ulps, so the exact stage must not be
+vectorized), candidates are visited in registration order, and the
+per-candidate RNG draw order of probabilistic propagation models is
+preserved.  Reception decisions and propagation delays for the survivors
+go through the model's ``in_range_many`` / ``delay_many`` batch entry
+points when the model provides them (see
+:class:`~repro.net.propagation.PropagationModel`); models without
+``in_range_many`` fall back to the scalar per-candidate loop.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.net.propagation import PropagationModel, RangePropagation
 
@@ -51,6 +73,12 @@ class WirelessChannel:
         the paper's 20 m/s maximum) is always safe for the mobility
         models in this package; the scenario builder passes the
         configured maximum speed for a tighter bound.
+    field_size:
+        Optional ``(width, height)`` of the simulation field.  When given
+        and the field is too small for the 3×3 grid block to filter
+        anything, the spatial index collapses to a single covering cell
+        (see the module docstring).  Candidate *sets* are identical
+        either way; only indexing overhead changes.
     """
 
     #: Slack margin added to the grid cell size, as a fraction of the
@@ -59,29 +87,80 @@ class WirelessChannel:
     #: sets for rarer rebuilds.
     _GRID_SLACK_FRACTION = 0.5
 
+    #: Staleness budget of the prefilter position snapshot, as a fraction
+    #: of the detection range.  Smaller values tighten the prefilter
+    #: radius (detection range + this slack) at the cost of more frequent
+    #: O(N) snapshot refreshes.
+    _POS_SLACK_FRACTION = 0.1
+
+    #: Absolute safety margin (metres) added to the prefilter radius so
+    #: float rounding in the squared-distance comparison can never drop a
+    #: candidate the exact scalar evaluation would accept.
+    _PREFILTER_MARGIN_M = 1e-6
+
+    #: Below this many in-detection-range receivers the scalar loop beats
+    #: the numpy round-trip; both produce identical results.
+    _VECTOR_MIN_RECEIVERS = 4
+
+    #: Below this many candidates the prefilter runs as a Python loop over
+    #: cached position lists instead of numpy array math — the numpy
+    #: round-trip only wins on larger blocks (measured crossover ~45).
+    #: Both paths perform the same IEEE ops, so they keep the same set.
+    _PREFILTER_VECTOR_MIN = 48
+
     def __init__(self, sim: "Simulator",
                  propagation: Optional[PropagationModel] = None,
-                 max_node_speed: float = 50.0):
+                 max_node_speed: float = 50.0,
+                 field_size: Optional[Tuple[float, float]] = None):
         self.sim = sim
         self.propagation = propagation or RangePropagation(250.0)
         if max_node_speed < 0:
             raise ValueError("max_node_speed must be non-negative")
         self.max_node_speed = float(max_node_speed)
+        if field_size is not None:
+            field_size = (float(field_size[0]), float(field_size[1]))
+            if field_size[0] <= 0 or field_size[1] <= 0:
+                raise ValueError("field_size dimensions must be positive")
+        self.field_size = field_size
         self._interfaces: List["WirelessInterface"] = []
         self._interface_index: Dict["WirelessInterface", int] = {}
         #: Count of frame transmissions put on the air (all kinds).
         self.transmissions: int = 0
         #: Count of spatial-index rebuilds (instrumentation).
         self.grid_rebuilds: int = 0
+        #: Count of prefilter position-snapshot refreshes.
+        self.pos_refreshes: int = 0
         #: Sum / maximum of candidate-set sizes over all transmissions
         #: (instrumentation; candidate sets include the sender itself).
         self.candidate_total: int = 0
         self.candidate_max: int = 0
+        #: Sum / maximum of *refined* candidate-set sizes — what survives
+        #: the vectorized distance prefilter and reaches exact evaluation.
+        self.refined_total: int = 0
+        self.refined_max: int = 0
         # Spatial index state (see _ensure_grid).
         self._grid: Dict[Tuple[int, int], List[int]] = {}
         self._grid_time: Optional[float] = None
         self._grid_horizon: float = 0.0
         self._grid_cell_size: float = 1.0
+        self._single_cell: bool = False
+        self._all_candidates: Optional[Tuple[List[int], np.ndarray]] = None
+        #: Per-rebuild cache of 3×3 block candidates, as (list, ndarray)
+        #: pairs — the list feeds the small-block Python prefilter, the
+        #: ndarray the large-block numpy prefilter.
+        self._block_cache: Dict[Tuple[int, int],
+                                Tuple[List[int], np.ndarray]] = {}
+        # Prefilter position snapshot (see _ensure_positions); kept both
+        # as numpy arrays (large blocks) and plain lists (small blocks).
+        self._pos_x: Optional[np.ndarray] = None
+        self._pos_y: Optional[np.ndarray] = None
+        self._pos_xl: List[float] = []
+        self._pos_yl: List[float] = []
+        self._pos_time: Optional[float] = None
+        self._pos_horizon: float = 0.0
+        self._pos_slack: float = 0.0
+        # Cached named RNG stream (stable instance per name).
+        self._prop_rng = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -93,6 +172,7 @@ class WirelessChannel:
         self._interface_index[interface] = len(self._interfaces)
         self._interfaces.append(interface)
         self._grid_time = None  # invalidate the spatial index
+        self._pos_time = None   # ... and the prefilter snapshot
 
     @property
     def interfaces(self) -> Iterable["WirelessInterface"]:
@@ -124,12 +204,34 @@ class WirelessChannel:
         until ``_grid_horizon``, so until then the 3×3 cell block around
         a point is guaranteed to contain every interface currently within
         reach of it.  Rebuild cost is O(N), amortised over the horizon.
+
+        Small-field degeneration: when the field is known and a 3×3 block
+        would cover it entirely (``2 * cell >= max field dimension``), no
+        partition of this field can filter anything.  The index then
+        collapses to a single covering cell whose candidate list is *all*
+        interfaces — byte-identical candidate sets to the useless grid it
+        replaces — and, because membership no longer depends on positions
+        at all, the index never goes stale and is rebuilt at most once.
         """
         if self._grid_time is not None and now <= self._grid_horizon:
             return
         reach = self._reach()
         slack = max(reach * self._GRID_SLACK_FRACTION, 1e-9)
         cell = reach + slack
+        field = self.field_size
+        self._block_cache = {}
+        if field is not None and 2.0 * cell >= max(field):
+            self._single_cell = True
+            self._grid = {}
+            self._grid_cell_size = max(cell, field[0], field[1])
+            self._grid_time = now
+            self._grid_horizon = math.inf
+            indices = list(range(len(self._interfaces)))
+            self._all_candidates = (indices, np.array(indices, dtype=np.intp))
+            self.grid_rebuilds += 1
+            return
+        self._single_cell = False
+        self._all_candidates = None
         self._grid_cell_size = cell
         grid: Dict[Tuple[int, int], List[int]] = {}
         for index, interface in enumerate(self._interfaces):
@@ -143,23 +245,65 @@ class WirelessChannel:
             self._grid_horizon = math.inf
         self.grid_rebuilds += 1
 
-    def _candidate_indices(self, pos: Tuple[float, float]) -> List[int]:
-        """Indices of interfaces in the 3×3 cell block around ``pos``.
+    def _ensure_positions(self, now: float) -> None:
+        """(Re)snapshot per-interface positions for the numpy prefilter.
+
+        The snapshot has its own, tighter slack budget than the grid: an
+        interface within detection range now is within ``detection range +
+        _pos_slack`` of its snapshotted position, so the prefilter radius
+        stays close to the detection range while refreshes remain O(N)
+        and amortised.
+        """
+        if self._pos_time is not None and now <= self._pos_horizon:
+            return
+        n = len(self._interfaces)
+        xs = np.empty(n)
+        ys = np.empty(n)
+        for index, interface in enumerate(self._interfaces):
+            x, y = interface.node.position(now)
+            xs[index] = x
+            ys[index] = y
+        self._pos_x = xs
+        self._pos_y = ys
+        self._pos_xl = xs.tolist()
+        self._pos_yl = ys.tolist()
+        self._pos_time = now
+        slack = max(self._reach() * self._POS_SLACK_FRACTION, 1e-9)
+        self._pos_slack = slack
+        if self.max_node_speed > 0:
+            self._pos_horizon = now + slack / self.max_node_speed
+        else:
+            self._pos_horizon = math.inf
+        self.pos_refreshes += 1
+
+    def _candidate_block(
+            self, pos: Tuple[float, float]) -> Tuple[List[int], np.ndarray]:
+        """Candidate interface indices around ``pos``, sorted ascending.
 
         A superset of every interface within reach of ``pos`` (see
         :meth:`_ensure_grid`); callers re-check exact distances.  Sorted
         by registration index so iteration (and hence event insertion)
-        order matches the historical full scan exactly.
+        order matches the historical full scan exactly.  Returned as a
+        ``(list, ndarray)`` pair — same indices, two representations for
+        the two prefilter paths — cached per grid rebuild, so repeated
+        transmissions from the same cell pay one dict lookup.
         """
+        if self._single_cell:
+            return self._all_candidates
         cell = self._grid_cell_size
-        cx = int(pos[0] // cell)
-        cy = int(pos[1] // cell)
-        out: List[int] = []
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                out.extend(self._grid.get((cx + dx, cy + dy), ()))
-        out.sort()
-        return out
+        key = (int(pos[0] // cell), int(pos[1] // cell))
+        block = self._block_cache.get(key)
+        if block is None:
+            cx, cy = key
+            grid_get = self._grid.get
+            out: List[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    out.extend(grid_get((cx + dx, cy + dy), ()))
+            out.sort()
+            block = (out, np.array(out, dtype=np.intp))
+            self._block_cache[key] = block
+        return block
 
     def neighbors_of(self, interface: "WirelessInterface") -> List["WirelessInterface"]:
         """Interfaces currently within decode range of ``interface``.
@@ -174,7 +318,7 @@ class WirelessChannel:
         my_index = self._interface_index[interface]
         my_pos = interface.node.position(now)
         out = []
-        for index in self._candidate_indices(my_pos):
+        for index in self._candidate_block(my_pos)[0]:
             if index == my_index:
                 continue
             other = self._interfaces[index]
@@ -193,22 +337,37 @@ class WirelessChannel:
         (cells used, max/mean interfaces per cell) plus the running
         candidate-set statistics of the transmit path.  All values refer
         to the most recently built grid; an empty dict's worth of zeros is
-        returned before the first build.
+        returned before the first build.  ``mean_refined_set`` /
+        ``max_refined_set`` describe what survives the vectorized
+        distance prefilter — the exact per-candidate work actually done.
         """
-        occupancies = [len(indices) for indices in self._grid.values()]
-        cells_used = len(occupancies)
+        if self._single_cell:
+            n = len(self._interfaces)
+            cells_used = 1
+            max_occupancy: float = n
+            mean_occupancy: float = float(n)
+        else:
+            occupancies = [len(indices) for indices in self._grid.values()]
+            cells_used = len(occupancies)
+            max_occupancy = max(occupancies, default=0)
+            mean_occupancy = (sum(occupancies) / cells_used
+                              if cells_used else 0.0)
         return {
             "interfaces": len(self._interfaces),
             "cell_size_m": self._grid_cell_size,
+            "single_cell": float(self._single_cell),
             "cells_used": cells_used,
-            "max_occupancy": max(occupancies, default=0),
-            "mean_occupancy": (sum(occupancies) / cells_used
-                               if cells_used else 0.0),
+            "max_occupancy": max_occupancy,
+            "mean_occupancy": mean_occupancy,
             "grid_rebuilds": self.grid_rebuilds,
+            "pos_refreshes": self.pos_refreshes,
             "transmissions": self.transmissions,
             "mean_candidate_set": (self.candidate_total / self.transmissions
                                    if self.transmissions else 0.0),
             "max_candidate_set": self.candidate_max,
+            "mean_refined_set": (self.refined_total / self.transmissions
+                                 if self.transmissions else 0.0),
+            "max_refined_set": self.refined_max,
         }
 
     # ------------------------------------------------------------------ #
@@ -226,40 +385,127 @@ class WirelessChannel:
         the MAC (the interface only reads the immutable ``uid`` / ``kind``
         fields for trace logging), so those receivers share the sender's
         packet instead of paying for a copy.
+
+        See the module docstring for the two-stage candidate narrowing
+        (grid block, then vectorized stale-distance prefilter) and why
+        both stages preserve bit-for-bit results.
         """
         now = self.sim.now
         self.transmissions += 1
-        self._ensure_grid(now)
+        # Inlined staleness checks (one compare each in the common case);
+        # the _ensure_* methods would re-check the same condition.
+        if self._grid_time is None or now > self._grid_horizon:
+            self._ensure_grid(now)
+        if self._pos_time is None or now > self._pos_horizon:
+            self._ensure_positions(now)
         sender_index = self._interface_index[sender]
-        sender_pos = sender.node.position(now)
-        sender_id = sender.node.node_id
-        rng = self.sim.rng("propagation")
-        # Hoisted out of the candidate loop: propagation constants and
-        # bound methods, the interface table, and the scheduler entry.
+        sx, sy = sender.node.position(now)
         propagation = self.propagation
         detect_limit = propagation.detection_range()
-        in_range = propagation.in_range
-        prop_delay = propagation.delay
-        interfaces = self._interfaces
-        schedule = self.sim.schedule
-        hypot = math.hypot
-        sx, sy = sender_pos
-        candidates = self._candidate_indices(sender_pos)
-        n_candidates = len(candidates)
+
+        cand_list, cand_arr = self._candidate_block((sx, sy))
+        n_candidates = len(cand_list)
         self.candidate_total += n_candidates
         if n_candidates > self.candidate_max:
             self.candidate_max = n_candidates
-        for index in candidates:
-            if index == sender_index:
-                continue
-            receiver = interfaces[index]
-            rx, ry = receiver.node.position(now)
-            d = hypot(rx - sx, ry - sy)
-            if d > detect_limit:
-                continue
-            decodable = in_range(d, rng)
-            # Copy per decodable receiver so header mutations at one
-            # receiver never alias another receiver's view of the frame.
-            frame = packet.copy() if decodable else packet
-            schedule(prop_delay(d), receiver.begin_reception, frame,
-                     duration, decodable, sender_id)
+
+        # Stages 2+3: conservative squared-distance prefilter on the stale
+        # position snapshot, then exact evaluation of the survivors at the
+        # current positions (scalar math, ascending registration order).
+        # An interface within detect_limit now is within (detect_limit +
+        # _pos_slack) of its snapshot position, so nothing the exact
+        # evaluation would accept can be dropped by the prefilter; the
+        # margin absorbs float rounding of the squared form.  Small blocks
+        # run prefilter + exact gather as one fused Python loop, large
+        # ones do the prefilter in one numpy pass; both paths perform the
+        # identical IEEE arithmetic, so the surviving set is the same.
+        limit = detect_limit + self._pos_slack + self._PREFILTER_MARGIN_M
+        limit2 = limit * limit
+        interfaces = self._interfaces
+        hypot = math.hypot
+        receivers: List["WirelessInterface"] = []
+        distances: List[float] = []
+        add_receiver = receivers.append
+        add_distance = distances.append
+        n_refined = 0
+        if n_candidates < self._PREFILTER_VECTOR_MIN:
+            pos_xl = self._pos_xl
+            pos_yl = self._pos_yl
+            for index in cand_list:
+                dx = pos_xl[index] - sx
+                dy = pos_yl[index] - sy
+                if dx * dx + dy * dy > limit2:
+                    continue
+                n_refined += 1
+                if index == sender_index:
+                    continue
+                receiver = interfaces[index]
+                rx, ry = receiver.node.position(now)
+                d = hypot(rx - sx, ry - sy)
+                if d > detect_limit:
+                    continue
+                add_receiver(receiver)
+                add_distance(d)
+        else:
+            if self._single_cell:
+                dx = self._pos_x - sx
+                dy = self._pos_y - sy
+                survivors = np.flatnonzero(dx * dx + dy * dy
+                                           <= limit2).tolist()
+            else:
+                dx = self._pos_x[cand_arr] - sx
+                dy = self._pos_y[cand_arr] - sy
+                survivors = cand_arr[dx * dx + dy * dy <= limit2].tolist()
+            n_refined = len(survivors)
+            for index in survivors:
+                if index == sender_index:
+                    continue
+                receiver = interfaces[index]
+                rx, ry = receiver.node.position(now)
+                d = hypot(rx - sx, ry - sy)
+                if d > detect_limit:
+                    continue
+                add_receiver(receiver)
+                add_distance(d)
+        self.refined_total += n_refined
+        if n_refined > self.refined_max:
+            self.refined_max = n_refined
+        n_receivers = len(receivers)
+        if n_receivers == 0:
+            return
+
+        rng = self._prop_rng
+        if rng is None:
+            rng = self._prop_rng = self.sim.rng("propagation")
+        schedule_fire = self.sim.schedule_fire
+        sender_id = sender.node.node_id
+        packet_copy = packet.copy
+
+        # Stage 4: reception decision + delay, batched through the model's
+        # vectorized entry points when it provides them and the set is big
+        # enough to amortise the numpy round-trip; scalar loop otherwise
+        # (also the fallback for models without ``in_range_many``, e.g.
+        # third-party registry components).  Both orders of RNG use are
+        # identical: decisions happen in ascending registration order, one
+        # per in-detection-range receiver.
+        in_range_many = getattr(propagation, "in_range_many", None)
+        if (in_range_many is None
+                or n_receivers < self._VECTOR_MIN_RECEIVERS):
+            in_range = propagation.in_range
+            prop_delay = propagation.delay
+            for receiver, d in zip(receivers, distances):
+                decodable = in_range(d, rng)
+                # Copy per decodable receiver so header mutations at one
+                # receiver never alias another receiver's view.
+                frame = packet_copy() if decodable else packet
+                schedule_fire(prop_delay(d), receiver.begin_reception,
+                              frame, duration, decodable, sender_id)
+            return
+        distance_arr = np.array(distances)
+        decodable_flags = in_range_many(distance_arr, rng).tolist()
+        delays = propagation.delay_many(distance_arr).tolist()
+        for receiver, decodable, delay in zip(receivers, decodable_flags,
+                                              delays):
+            frame = packet_copy() if decodable else packet
+            schedule_fire(delay, receiver.begin_reception,
+                          frame, duration, decodable, sender_id)

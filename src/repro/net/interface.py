@@ -112,7 +112,9 @@ class WirelessInterface:
             reception.corrupted = True
         self.frames_sent += 1
         self.channel.transmit(self, packet, duration)
-        self.sim.schedule(duration, self._finish_transmission, packet)
+        # Fire-and-forget: transmission/reception completions are never
+        # cancelled, so they skip Event/EventHandle construction entirely.
+        self.sim.schedule_fire(duration, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: "Packet") -> None:
         self._transmitting_until = -1.0
@@ -126,35 +128,36 @@ class WirelessInterface:
     # ------------------------------------------------------------------ #
     def begin_reception(self, packet: "Packet", duration: float,
                         decodable: bool, sender_id: int) -> None:
-        """Start receiving a frame that will last ``duration`` seconds."""
+        """Start receiving a frame that will last ``duration`` seconds.
+
+        Hot path (one call per candidate reception): the carrier-sense
+        predicates are inlined as attribute comparisons rather than going
+        through :meth:`carrier_busy` / :attr:`is_transmitting`.
+        """
         now = self.sim.now
-        was_busy = self.carrier_busy()
-        reception = Reception(
-            packet=packet,
-            sender_id=sender_id,
-            start_time=now,
-            end_time=now + duration,
-            decodable=decodable,
-        )
+        receptions = self._receptions
+        transmitting = now < self._transmitting_until
+        was_busy = transmitting or bool(receptions)
+        reception = Reception(packet, sender_id, now, now + duration,
+                              decodable)
         # Receiver-side collision detection: any overlap corrupts both
         # the new arrival and everything already in flight.
-        if self._receptions:
+        if receptions:
             reception.corrupted = True
-            for other in self._receptions:
+            for other in receptions:
                 other.corrupted = True
         # Half duplex: a node cannot decode while it is transmitting.
-        if self.is_transmitting:
+        if transmitting:
             reception.corrupted = True
-        self._receptions.append(reception)
+        receptions.append(reception)
         if not was_busy and self.mac is not None:
             self.mac.on_channel_busy()
-        self.sim.schedule(duration, self._finish_reception, reception)
+        self.sim.schedule_fire(duration, self._finish_reception, reception)
 
     def _finish_reception(self, reception: Reception) -> None:
         self._receptions.remove(reception)
-        delivered = False
-        if reception.decodable and not reception.corrupted and not self.is_transmitting:
-            delivered = True
+        delivered = (reception.decodable and not reception.corrupted
+                     and not self.sim.now < self._transmitting_until)
         if delivered:
             self.frames_received += 1
             if self.mac is not None:
@@ -166,7 +169,8 @@ class WirelessInterface:
                                    self.node.node_id, reception.packet.uid,
                                    reception.packet.kind,
                                    sender=reception.sender_id)
-        if not self.carrier_busy() and self.mac is not None:
+        if (not self._receptions and self.mac is not None
+                and not self.sim.now < self._transmitting_until):
             self.mac.on_channel_idle()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

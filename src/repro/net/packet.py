@@ -82,8 +82,9 @@ def _next_uid() -> int:
 
 #: Types whose instances are immutable: sharing them between packet copies
 #: is indistinguishable from deep-copying them (deepcopy returns the very
-#: same object for these).
-_ATOMIC_TYPES = (int, float, str, bytes, bool, type(None))
+#: same object for these).  A frozenset makes the per-value membership
+#: test in the dict-header rebuild a hash lookup.
+_ATOMIC_TYPES = frozenset((int, float, str, bytes, bool, type(None)))
 
 
 def _clone_header(header: Any) -> Any:
@@ -236,8 +237,15 @@ class Packet:
         clone.mac_dst = self.mac_dst
         clone.prev_hop = self.prev_hop
         clone.hop_count = self.hop_count
-        clone.headers = {name: _clone_header(header)
-                         for name, header in self.headers.items()}
+        # Inlined _clone_header dispatch: copy() runs once per decodable
+        # receiver per transmission, and the common case (a header with a
+        # hand-written clone()) should not pay an extra function call.
+        headers = {}
+        for name, header in self.headers.items():
+            header_clone = getattr(header, "clone", None)
+            headers[name] = (header_clone() if header_clone is not None
+                             else _clone_header(header))
+        clone.headers = headers
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -31,7 +31,26 @@ SPEED_OF_LIGHT = 299_792_458.0
 
 
 class PropagationModel(ABC):
-    """Interface for propagation models."""
+    """Interface for propagation models.
+
+    Vectorized path
+    ---------------
+    The channel's transmit hot path hands a whole candidate block to the
+    model at once when the model defines ``in_range_many``.  A model may
+    only define it when the batched arithmetic is *bit-for-bit identical*
+    to calling :meth:`in_range` element-wise — including the order of any
+    RNG draws, which must match the scalar loop exactly (ascending
+    candidate order, one decision per in-detection-range candidate).
+    Models that cannot guarantee this (e.g. anything built on ``pow``,
+    ``log`` or ``erf``, whose libm/numpy results differ by ulps) simply
+    do not define ``in_range_many`` and the channel falls back to the
+    scalar per-candidate loop — third-party registry components work
+    unchanged.
+
+    :meth:`delay_many` has a safe default that loops :meth:`delay`, so it
+    is always available; override it with real vector math only when that
+    math is provably identical to the scalar method.
+    """
 
     @abstractmethod
     def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
@@ -44,6 +63,15 @@ class PropagationModel(ABC):
     def delay(self, distance: float) -> float:
         """Propagation delay in seconds over ``distance`` metres."""
         return max(distance, 0.0) / SPEED_OF_LIGHT
+
+    def delay_many(self, distances: np.ndarray) -> np.ndarray:
+        """Propagation delays for a distance array.
+
+        Default: an element-wise loop over :meth:`delay`, which is correct
+        (bit-for-bit) for any subclass, including ones that override
+        :meth:`delay`.
+        """
+        return np.array([self.delay(float(d)) for d in distances])
 
     def detection_range(self) -> float:
         """Maximum distance at which a signal can still interfere.
@@ -77,6 +105,20 @@ class RangePropagation(PropagationModel):
 
     def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
         return distance <= self.range_m
+
+    def in_range_many(self, distances: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Vectorized :meth:`in_range`: one comparison over the array.
+
+        Bit-identical to the scalar method — ``<=`` is an exact IEEE
+        comparison — and draws nothing from ``rng``, like the scalar path.
+        """
+        return distances <= self.range_m
+
+    def delay_many(self, distances: np.ndarray) -> np.ndarray:
+        # max(d, 0.0) and the division are exact/correctly-rounded IEEE
+        # ops, so this is bit-identical to looping the scalar delay().
+        return np.maximum(distances, 0.0) / SPEED_OF_LIGHT
 
     def nominal_range(self) -> float:
         return self.range_m
@@ -131,6 +173,11 @@ class TwoRayGround(PropagationModel):
 
     def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
         return self.received_power(distance) >= self.rx_threshold_w
+
+    # NOTE: deliberately no ``in_range_many`` — received_power uses ``**``
+    # and numpy's pow differs from CPython's by ulps, so a vectorized
+    # variant would not be bit-identical.  The channel falls back to the
+    # scalar per-candidate loop for this model.
 
     def nominal_range(self) -> float:
         return self.nominal_range_m
@@ -190,6 +237,25 @@ class LogDistanceShadowing(PropagationModel):
         if rng is None:
             return p >= 0.5
         return bool(rng.random() < p)
+
+    def in_range_many(self, distances: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Batched reception decisions, preserving the RNG draw order.
+
+        The margin math runs through ``log10``/``erf``, whose numpy
+        counterparts are not bit-identical to the scalar libm calls — so
+        this is an element-wise loop, not vector math.  What the batched
+        entry point guarantees is the *contract*: decisions (and therefore
+        shadowing draws) happen in ascending candidate order, exactly one
+        per candidate the scalar loop would have drawn for.
+        """
+        return np.array([self.in_range(float(d), rng) for d in distances],
+                        dtype=bool)
+
+    def delay_many(self, distances: np.ndarray) -> np.ndarray:
+        # Inherits the base-class delay(); same exact-ops argument as
+        # RangePropagation.delay_many.
+        return np.maximum(distances, 0.0) / SPEED_OF_LIGHT
 
     def nominal_range(self) -> float:
         return self.nominal_range_m

@@ -133,7 +133,8 @@ class ScenarioBuilder:
                                          config.propagation_params,
                                          config=config)
         channel = WirelessChannel(sim, propagation,
-                                  max_node_speed=config.max_speed)
+                                  max_node_speed=config.max_speed,
+                                  field_size=config.field_size)
         mac_params = MacParams(data_rate=config.data_rate,
                                basic_rate=config.basic_rate,
                                retry_limit=config.mac_retry_limit,

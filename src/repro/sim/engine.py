@@ -1,7 +1,7 @@
 """The discrete-event simulation engine.
 
 The :class:`Simulator` is deliberately small: a binary heap of
-``(time, priority, sequence, event)`` entries, a clock, and a handful of
+``(time, priority, sequence, ...)`` entries, a clock, and a handful of
 run controls.  All network models (channel, MAC, routing agents, TCP)
 schedule work through it, which is exactly the structure of the NS-2
 scheduler the paper's evaluation relied on.
@@ -12,7 +12,25 @@ Design notes
   insertion sequence)``, so a run is bit-for-bit reproducible for a given
   scenario seed.  The ordering key is carried by the heap entry tuple —
   compared entirely in C, with the unique sequence number guaranteeing the
-  comparison never falls through to the event object.
+  comparison never falls through to the trailing entry fields.
+* The run loop delivers events in *horizon batches*: it peeks the minimum
+  timestamp, then drains every entry sharing that timestamp in one inner
+  pass, re-checking ``heap[0]`` between callbacks so an event scheduled
+  *into* the open horizon (same time, earlier priority) still fires in
+  exact ``(time, priority, sequence)`` order.  The per-event ``until``
+  comparison, clock bookkeeping and loop-control checks are paid once per
+  horizon instead of once per event, and an ``until`` bound never pops an
+  entry it would have to push back.  ``horizon_batches`` /
+  ``max_batch_size`` instrument the batch-size distribution.
+* Two kinds of heap entry coexist.  :meth:`schedule` / :meth:`schedule_at`
+  build ``(time, priority, sequence, Event)`` and return a cancellable
+  :class:`EventHandle`.  :meth:`schedule_fire` — the fast path used by the
+  PHY/channel reception pipeline, which never cancels — pushes a bare
+  ``(time, priority, sequence, callback, args)`` 5-tuple: no
+  :class:`Event`, no handle, no kwargs dict, which is most of the
+  allocation cost of a reception event.  Both entry kinds share the same
+  sequence counter, so the total order is identical to scheduling
+  everything through the slow path.
 * Cancellation is lazy: cancelled events stay in the heap and are skipped
   when popped.  This keeps :meth:`Simulator.cancel` O(1), which matters
   because MAC ACK timeouts and TCP retransmission timers are cancelled far
@@ -28,14 +46,20 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Optional, Tuple
 
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
 
-#: Type of one heap entry; the leading triple is the full ordering key.
+#: Type of one handle-backed heap entry; the leading triple is the full
+#: ordering key.  Fire-and-forget entries are ``(time, priority, sequence,
+#: callback, args)`` 5-tuples sharing the same key layout.
 HeapEntry = Tuple[float, int, int, Event]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -76,7 +100,11 @@ class Simulator:
     _COMPACT_GARBAGE_FRACTION = 0.5
 
     def __init__(self, seed: Optional[int] = None, trace: bool = False):
-        self._now: float = 0.0
+        #: Current simulation time in seconds.  A plain attribute, not a
+        #: property: it is read over a million times per smoke-profile run
+        #: (every carrier-sense check and schedule), and descriptor
+        #: dispatch was measurable.  Treat as read-only outside the engine.
+        self.now: float = 0.0
         self._heap: list[HeapEntry] = []
         self._sequence: int = 0
         self._running: bool = False
@@ -87,17 +115,16 @@ class Simulator:
         self.heap_compactions: int = 0
         #: High-water mark of the heap size (live + cancelled entries).
         self.peak_heap_size: int = 0
+        #: Number of horizon batches delivered (distinct timestamps that
+        #: fired at least one event) and the largest batch seen.
+        self.horizon_batches: int = 0
+        self.max_batch_size: int = 0
         self.rngs = RngRegistry(seed)
         self.trace: Optional[TraceLog] = TraceLog() if trace else None
 
     # ------------------------------------------------------------------ #
     # clock
     # ------------------------------------------------------------------ #
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
     @property
     def processed_events(self) -> int:
         """Number of events fired so far (cancelled events excluded)."""
@@ -117,6 +144,13 @@ class Simulator:
     def heap_size(self) -> int:
         """Total heap entries (live + cancelled garbage)."""
         return len(self._heap)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean number of events fired per horizon batch."""
+        if self.horizon_batches == 0:
+            return 0.0
+        return self._processed / self.horizon_batches
 
     # ------------------------------------------------------------------ #
     # random streams
@@ -151,16 +185,38 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         # float() guards the clock: a numpy scalar delay must not leak
-        # into heap keys and eventually self._now (schedule_at coerces too).
-        time = float(self._now + delay)
+        # into heap keys and eventually self.now (schedule_at coerces too).
+        time = float(self.now + delay)
         sequence = self._sequence
         self._sequence = sequence + 1
         event = Event(time, priority, sequence, callback, args, kwargs)
         heap = self._heap
-        heapq.heappush(heap, (time, priority, sequence, event))
+        _heappush(heap, (time, priority, sequence, event))
         if len(heap) > self.peak_heap_size:
             self.peak_heap_size = len(heap)
         return EventHandle(event, self)
+
+    def schedule_fire(self, delay: float, callback: Callable[..., Any],
+                      *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, default priority.
+
+        The fast path for events that are never cancelled (the PHY/channel
+        reception pipeline schedules hundreds of thousands of these).  It
+        pushes a bare ``(time, priority, sequence, callback, args)`` tuple
+        — no :class:`Event`, no :class:`EventHandle`, no kwargs dict.  The
+        sequence counter is shared with :meth:`schedule`, so the delivery
+        order is exactly what ``schedule(delay, callback, *args)`` would
+        have produced.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = float(self.now + delay)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heap = self._heap
+        _heappush(heap, (time, 0, sequence, callback, args))
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
 
     def schedule_at(
         self,
@@ -177,15 +233,15 @@ class Simulator:
         it surfaces as a ``TypeError`` when the event fires.
         """
         time = float(time)
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time!r}, which is before now={self._now!r}"
+                f"cannot schedule at {time!r}, which is before now={self.now!r}"
             )
         sequence = self._sequence
         self._sequence = sequence + 1
         event = Event(time, priority, sequence, callback, args, kwargs)
         heap = self._heap
-        heapq.heappush(heap, (time, priority, sequence, event))
+        _heappush(heap, (time, priority, sequence, event))
         if len(heap) > self.peak_heap_size:
             self.peak_heap_size = len(heap)
         return EventHandle(event, self)
@@ -212,9 +268,11 @@ class Simulator:
         Safe to run at any point between event pops: entries are ordered
         by their full ``(time, priority, sequence)`` key, so re-heapifying
         the surviving entries reproduces the exact pop order the lazy
-        deletion path would have produced.
+        deletion path would have produced.  Fire-and-forget 5-tuples carry
+        no cancellation flag and always survive.
         """
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        self._heap = [entry for entry in self._heap
+                      if len(entry) != 4 or not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.heap_compactions += 1
@@ -224,7 +282,17 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
-        """Run the event loop.
+        """Run the event loop, delivering events in horizon batches.
+
+        Each outer iteration peeks the minimum timestamp (the *horizon*)
+        and drains every entry sharing it in one inner pass, so the
+        ``until`` comparison and loop control run once per distinct
+        timestamp, and an out-of-bound entry is never popped just to be
+        pushed back.  ``heap[0]`` is re-checked between callbacks, so an
+        event scheduled into the open horizon (same time, earlier
+        priority) still fires in exact ``(time, priority, sequence)``
+        order, and mid-batch ``stop()`` / ``max_events`` / cancellation /
+        compaction behave exactly as per-event delivery did.
 
         Parameters
         ----------
@@ -238,39 +306,72 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
-        fired_this_run = 0
-        heappop = heapq.heappop
+        limit = math.inf if until is None else until
+        remaining = math.inf if max_events is None else max_events
+        processed = self._processed
+        batches = self.horizon_batches
+        max_batch = self.max_batch_size
+        heappop = _heappop
+        batch = 0
         try:
-            # self._heap is re-read every iteration: a cancellation inside
-            # a callback may compact the heap, swapping in a fresh list.
-            while self._heap:
+            heap = self._heap
+            while heap:
                 if self._stopped:
                     break
-                entry = heappop(self._heap)
-                event = entry[3]
-                event.popped = True
-                if event.cancelled:
-                    self._cancelled_in_heap -= 1
-                    continue
-                time = entry[0]
-                if until is not None and time > until:
-                    # Put it back: callers may resume the run later.
-                    event.popped = False
-                    heapq.heappush(self._heap, entry)
-                    self._now = until
+                horizon = heap[0][0]
+                if horizon > limit:
+                    # Unlike a pop-then-push-back scheme, the entry never
+                    # leaves the heap; callers may resume the run later.
+                    self.now = until
                     break
-                if time < self._now:  # pragma: no cover - invariant
+                if horizon < self.now:  # pragma: no cover - invariant
                     raise SimulationError("event time went backwards")
-                self._now = time
-                event.callback(*event.args, **event.kwargs)
-                self._processed += 1
-                fired_this_run += 1
-                if max_events is not None and fired_this_run >= max_events:
+                batch = 0
+                while True:
+                    entry = heappop(heap)
+                    if len(entry) == 4:
+                        event = entry[3]
+                        event.popped = True
+                        if event.cancelled:
+                            self._cancelled_in_heap -= 1
+                            # A compaction cannot run here (no user code),
+                            # but the heap may now be empty or past the
+                            # horizon.
+                            if not heap or heap[0][0] != horizon:
+                                break
+                            continue
+                        self.now = horizon
+                        event.callback(*event.args, **event.kwargs)
+                    else:
+                        self.now = horizon
+                        entry[3](*entry[4])
+                    batch += 1
+                    remaining -= 1
+                    # Re-read: a cancellation inside the callback may have
+                    # compacted the heap, swapping in a fresh list.  The
+                    # horizon test leads because it is the overwhelmingly
+                    # common exit (or-chain, so the order is behaviourless).
+                    heap = self._heap
+                    if (not heap or heap[0][0] != horizon
+                            or remaining <= 0 or self._stopped):
+                        break
+                if batch:
+                    processed += batch
+                    batches += 1
+                    if batch > max_batch:
+                        max_batch = batch
+                    batch = 0
+                if remaining <= 0:
                     break
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                if until is not None and until > self.now:
+                    self.now = until
         finally:
+            # ``batch`` is non-zero only when a callback raised mid-batch;
+            # the events that did fire still count.
+            self._processed = processed + batch
+            self.horizon_batches = batches
+            self.max_batch_size = max_batch
             self._running = False
 
     def stop(self) -> None:
@@ -278,5 +379,5 @@ class Simulator:
         self._stopped = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return (f"<Simulator t={self._now:.6f} pending={self.pending_events} "
+        return (f"<Simulator t={self.now:.6f} pending={self.pending_events} "
                 f"processed={self._processed}>")

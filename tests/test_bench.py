@@ -22,7 +22,8 @@ from repro.scenario.config import ScenarioConfig
 
 def synthetic_report(profile: str, events_per_sec: float,
                      events: int = 1000,
-                     case_names=("alpha", "beta")) -> BenchReport:
+                     case_names=("alpha", "beta"),
+                     host=None) -> BenchReport:
     """A hand-built artifact with exact, known throughput numbers."""
     cases = [
         BenchCaseResult(
@@ -30,11 +31,15 @@ def synthetic_report(profile: str, events_per_sec: float,
             wall_time_s=events / events_per_sec, events=events,
             events_per_sec=events_per_sec, peak_heap_size=100,
             heap_compactions=0, pending_events=0, cancelled_pending=0,
-            transmissions=50, grid={"grid_rebuilds": 1.0})
+            transmissions=50, grid={"grid_rebuilds": 1.0},
+            horizon_batches=400, mean_batch_size=2.5, max_batch_size=9)
         for name in case_names
     ]
-    return BenchReport(profile=profile, description="synthetic",
-                       cases=cases, created_unix=0.0)
+    report = BenchReport(profile=profile, description="synthetic",
+                         cases=cases, created_unix=0.0)
+    if host is not None:
+        report.meta = dict(report.meta, host=host)
+    return report
 
 
 def test_all_profiles_are_well_formed():
@@ -211,3 +216,137 @@ def test_cli_runs_profile_and_writes_artifact(tmp_path, capsys):
     assert payload["totals"]["events"] > 0
     assert {case["name"] for case in payload["cases"]} == \
         {"mts_tiny", "aodv_tiny"}
+
+
+# ---------------------------------------------------------------------- #
+# artifact provenance (meta) + horizon-batch counters
+# ---------------------------------------------------------------------- #
+def test_artifacts_carry_environment_meta():
+    from repro.bench.runner import environment_meta
+    from repro.version import __version__
+
+    meta = environment_meta()
+    assert set(meta) == {"host", "platform", "python", "numpy",
+                         "repro_version"}
+    assert meta["repro_version"] == __version__
+    report = synthetic_report("smoke", 1000.0)
+    payload = json.loads(report.to_json())
+    assert set(payload["meta"]) == set(meta)
+    assert BenchReport.from_json(report.to_json()).meta == report.meta
+
+
+def test_run_case_measures_horizon_batch_counters():
+    case = bench_profile("tiny").cases[0]
+    result = run_case(case)
+    assert result.horizon_batches > 0
+    assert result.max_batch_size >= 1
+    assert result.mean_batch_size >= 1.0
+    # mean * batches == events, by definition of the counters.
+    assert result.mean_batch_size * result.horizon_batches == \
+        pytest.approx(result.events)
+    payload = result.to_dict()
+    for key in ("horizon_batches", "mean_batch_size", "max_batch_size"):
+        assert key in payload
+
+
+def test_case_result_from_dict_is_tolerant():
+    payload = synthetic_report("smoke", 1000.0).cases[0].to_dict()
+    # Unknown keys from a newer writer must be dropped, not crash.
+    payload["from_the_future"] = 42
+    restored = BenchCaseResult.from_dict(payload)
+    assert restored.name == "alpha"
+    # Pre-batching artifacts lack the new counters: defaults apply.
+    for key in ("horizon_batches", "mean_batch_size", "max_batch_size",
+                "from_the_future"):
+        payload.pop(key, None)
+    vintage = BenchCaseResult.from_dict(payload)
+    assert vintage.horizon_batches == 0
+    assert vintage.mean_batch_size == 0.0
+
+
+def test_report_from_dict_tolerates_missing_meta():
+    payload = json.loads(synthetic_report("smoke", 1000.0).to_json())
+    del payload["meta"]
+    vintage = BenchReport.from_dict(payload)
+    # A pre-meta artifact must NOT inherit the reading host's stamp.
+    assert vintage.meta == {}
+
+
+class TestCompareProvenance:
+    def test_cross_host_comparison_warns_but_does_not_fail(self, capsys):
+        report = compare_reports(
+            synthetic_report("smoke", 1000.0, host="laptop"),
+            synthetic_report("smoke", 1050.0, host="ci-runner"))
+        assert report.cross_host
+        text = report.format(threshold_pct=10.0)
+        assert "cross-host" in text
+        assert "verdict: ok" in text
+        assert not report.workload_changed
+        assert not report.regressed(10.0)
+
+    def test_same_host_comparison_has_no_warning(self):
+        report = compare_reports(
+            synthetic_report("smoke", 1000.0, host="box"),
+            synthetic_report("smoke", 1050.0, host="box"))
+        assert not report.cross_host
+        assert "cross-host" not in report.format(threshold_pct=10.0)
+
+    def test_missing_host_stamp_counts_as_same_host(self):
+        base = synthetic_report("smoke", 1000.0)
+        base.meta = {}
+        report = compare_reports(base, synthetic_report("smoke", 1000.0,
+                                                        host="box"))
+        assert not report.cross_host
+
+
+class TestSpeedupGate:
+    def test_total_speedup_and_floor(self):
+        report = compare_reports(synthetic_report("smoke", 1000.0),
+                                 synthetic_report("smoke", 1400.0))
+        assert report.total_speedup == pytest.approx(1.4)
+        assert report.meets_speedup(1.3)
+        assert not report.meets_speedup(1.5)
+
+    def test_cli_min_speedup_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(synthetic_report("smoke", 1000.0).to_json())
+        faster = tmp_path / "faster.json"
+        faster.write_text(synthetic_report("smoke", 1400.0).to_json())
+
+        assert bench_cli.main(["compare", str(base), str(faster),
+                               "--min-speedup", "1.3"]) == 0
+        assert "speedup 1.400x" in capsys.readouterr().out
+        assert bench_cli.main(["compare", str(base), str(faster),
+                               "--min-speedup", "1.5"]) == 1
+        assert "TOO SLOW" in capsys.readouterr().out
+
+
+class TestCompareAgainst:
+    def test_cli_gates_fresh_run_against_reference(self, tmp_path, capsys):
+        ref_dir = tmp_path / "ref"
+        assert bench_cli.main(["--profile", "tiny",
+                               "--out-dir", str(ref_dir)]) == 0
+        capsys.readouterr()
+        # Same kernel, same workload: the gate must pass comfortably
+        # with a generous threshold.
+        assert bench_cli.main(["--profile", "tiny",
+                               "--out-dir", str(tmp_path / "new"),
+                               "--compare-against",
+                               str(ref_dir / "BENCH_tiny.json"),
+                               "--threshold", "75"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        assert (tmp_path / "new" / "BENCH_tiny.json").exists()
+
+    def test_cli_compare_against_requires_single_profile(self, tmp_path,
+                                                         capsys):
+        assert bench_cli.main(["--profile", "tiny", "--profile", "smoke",
+                               "--compare-against", "ref.json"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_cli_compare_against_missing_reference(self, tmp_path, capsys):
+        assert bench_cli.main(["--profile", "tiny",
+                               "--out-dir", str(tmp_path),
+                               "--compare-against",
+                               str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -261,3 +261,169 @@ def test_numpy_scalar_delay_does_not_poison_the_clock():
     sim.schedule_at(np.float64(1.5), lambda: None)
     sim.run()
     assert type(sim.now) is float
+
+
+# ---------------------------------------------------------------------- #
+# horizon-batched delivery
+# ---------------------------------------------------------------------- #
+def test_stop_mid_horizon_halts_remaining_same_time_events():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(1.0, order.append, "first")
+    sim.schedule(1.0, lambda: (order.append("stopper"), sim.stop()))
+    sim.schedule(1.0, order.append, "never")
+    sim.run()
+    assert order == ["first", "stopper"]
+    assert sim.now == 1.0
+    assert sim.processed_events == 2
+    # The unfired event is still pending and fires on resume.
+    sim.run()
+    assert order == ["first", "stopper", "never"]
+
+
+def test_earlier_event_cancels_later_same_timestamp_event():
+    sim = Simulator(seed=1)
+    order = []
+    handles = {}
+
+    def canceller():
+        order.append("canceller")
+        handles["victim"].cancel()
+
+    sim.schedule(1.0, canceller)
+    handles["victim"] = sim.schedule(1.0, order.append, "victim")
+    sim.schedule(1.0, order.append, "after")
+    sim.run()
+    assert order == ["canceller", "after"]
+    assert sim.processed_events == 2
+    assert sim.cancelled_pending == 0  # popped, not left as garbage
+
+
+def test_until_exactly_on_horizon_boundary_fires_the_whole_batch():
+    sim = Simulator(seed=1)
+    order = []
+    for label in range(5):
+        sim.schedule(2.0, order.append, label)
+    sim.schedule(2.5, order.append, "beyond")
+    sim.run(until=2.0)
+    assert order == list(range(5))
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+    sim.run(until=3.0)
+    assert order[-1] == "beyond"
+
+
+def test_compaction_inside_batch_preserves_order():
+    sim = Simulator(seed=1)
+    order = []
+    # A large pool of cancellable far-future events...
+    future = [sim.schedule(10.0, order.append, ("future", i))
+              for i in range(600)]
+
+    def mass_cancel():
+        order.append("canceller")
+        # ...cancelled mid-batch: crosses both compaction thresholds
+        # (>=256 garbage, >= half the heap), so the heap list is swapped
+        # while two same-horizon events are still pending.
+        for handle in future:
+            handle.cancel()
+
+    sim.schedule(1.0, mass_cancel)
+    sim.schedule(1.0, order.append, "second")
+    sim.schedule(1.0, order.append, "third")
+    sim.run()
+    assert sim.heap_compactions >= 1
+    assert order == ["canceller", "second", "third"]
+    assert sim.processed_events == 3
+    assert sim.pending_events == 0
+
+
+def test_max_events_expiring_mid_batch():
+    sim = Simulator(seed=1)
+    order = []
+    for label in range(4):
+        sim.schedule(1.0, order.append, label)
+    sim.run(max_events=2)
+    assert order == [0, 1]
+    assert sim.now == 1.0
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_horizon_batch_counters():
+    sim = Simulator(seed=1)
+    out = []
+    for _ in range(3):
+        sim.schedule(1.0, out.append, "a")
+    for _ in range(2):
+        sim.schedule(2.0, out.append, "b")
+    sim.schedule(3.0, out.append, "c")
+    sim.run()
+    assert sim.processed_events == 6
+    assert sim.horizon_batches == 3
+    assert sim.max_batch_size == 3
+    assert sim.mean_batch_size == pytest.approx(2.0)
+
+
+def test_horizon_batch_counters_skip_all_cancelled_timestamps():
+    sim = Simulator(seed=1)
+    out = []
+    victim = sim.schedule(1.0, out.append, "victim")
+    victim.cancel()
+    sim.schedule(2.0, out.append, "live")
+    sim.run()
+    # The t=1.0 horizon fired nothing: it must not count as a batch,
+    # and the clock must not have been advanced by the cancelled pop.
+    assert sim.horizon_batches == 1
+    assert sim.mean_batch_size == pytest.approx(1.0)
+    assert out == ["live"]
+
+
+def test_events_scheduled_into_open_horizon_fire_in_key_order():
+    sim = Simulator(seed=1)
+    order = []
+
+    def spawner():
+        order.append("spawner")
+        # Same timestamp, scheduled while the horizon batch is open:
+        # must still fire within this run, after existing entries.
+        sim.schedule(0.0, order.append, "late-arrival")
+
+    sim.schedule(1.0, spawner)
+    sim.schedule(1.0, order.append, "pre-existing")
+    sim.run()
+    assert order == ["spawner", "pre-existing", "late-arrival"]
+
+
+# ---------------------------------------------------------------------- #
+# schedule_fire (fire-and-forget fast path)
+# ---------------------------------------------------------------------- #
+def test_schedule_fire_interleaves_with_schedule_in_sequence_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(1.0, order.append, "event-1")
+    sim.schedule_fire(1.0, order.append, "fire-1")
+    sim.schedule(1.0, order.append, "event-2")
+    sim.schedule_fire(1.0, order.append, "fire-2")
+    sim.run()
+    assert order == ["event-1", "fire-1", "event-2", "fire-2"]
+    assert sim.processed_events == 4
+
+
+def test_schedule_fire_negative_delay_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule_fire(-0.1, lambda: None)
+
+
+def test_schedule_fire_counts_in_heap_and_batch_stats():
+    sim = Simulator(seed=1)
+    out = []
+    sim.schedule_fire(1.0, out.append, "a")
+    sim.schedule_fire(1.0, out.append, "b")
+    assert sim.pending_events == 2
+    assert sim.peak_heap_size == 2
+    sim.run()
+    assert out == ["a", "b"]
+    assert sim.horizon_batches == 1
+    assert sim.max_batch_size == 2
