@@ -1,4 +1,4 @@
-"""Dispatcher: ``python -m repro.cli {bench,cache,sweep} …``.
+"""Dispatcher: ``python -m repro.cli {bench,cache,lint,sweep} …``.
 
 Lets the CLIs run straight from a checkout (``PYTHONPATH=src``) without
 installing the console entry points declared in ``pyproject.toml``.
@@ -8,9 +8,10 @@ from __future__ import annotations
 
 import sys
 
-from repro.cli import bench, cache, sweep
+from repro.cli import bench, cache, lint, sweep
 
-TOOLS = {"bench": bench.main, "cache": cache.main, "sweep": sweep.main}
+TOOLS = {"bench": bench.main, "cache": cache.main, "lint": lint.main,
+         "sweep": sweep.main}
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,94 @@
+"""``repro-lint`` — determinism & cache-contract static analysis.
+
+Usage::
+
+    repro-lint [PATH ...] [--strict] [--schema FILE]
+    repro-lint --write-schema [--schema FILE]
+    repro-lint --list-rules
+
+Defaults to linting ``src/repro``.  ``--strict`` (the CI gate) adds
+suppression hygiene: every ``# repro-lint: ignore[RULE]`` comment must
+carry a justification and must actually silence something.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import (
+    RULE_CATALOG,
+    find_package_root,
+    lint_paths,
+    write_cache_schema,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis for the repro determinism, cache, "
+                    "and registry contracts.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also enforce suppression hygiene "
+                             "(justifications required, no stale ignores)")
+    parser.add_argument("--schema", metavar="FILE", default=None,
+                        help="path to CACHE_SCHEMA.json (default: two "
+                             "levels above the repro package)")
+    parser.add_argument("--write-schema", action="store_true",
+                        help="regenerate the committed cache schema "
+                             "snapshot (do this when bumping "
+                             "repro.version) and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line on success")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULE_CATALOG)
+        for rule, description in RULE_CATALOG.items():
+            print(f"{rule:<{width}}  {description}")
+        return 0
+
+    roots = [Path(p) for p in args.paths]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_schema:
+        package_root = find_package_root(roots)
+        if package_root is None:
+            print("repro-lint: cannot locate the repro package under "
+                  f"{', '.join(args.paths)}", file=sys.stderr)
+            return 2
+        schema_path = Path(args.schema) if args.schema else \
+            package_root.parent.parent / "CACHE_SCHEMA.json"
+        schema = write_cache_schema(package_root, schema_path)
+        print(f"repro-lint: wrote {schema_path} "
+              f"(repro {schema['repro_version']}, "
+              f"{len(schema['config_fields'])} config fields)")
+        return 0
+
+    report = lint_paths(roots, strict=args.strict, schema_path=args.schema)
+    if report.findings or not args.quiet:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,6 @@ from repro.experiments import (
     SweepSettings,
     format_table1,
     render_figures,
-    run_speed_sweep,
     run_table1,
     sweep_profile,
 )
@@ -218,7 +217,7 @@ def cmd_run_scheduler(args: argparse.Namespace,
                                 worker_timeout=args.worker_timeout)
     print(f"scheduler: {total} grid cell(s) across up to "
           f"{args.scheduler} worker shard(s)")
-    started = time.time()
+    started = time.time()  # repro-lint: ignore[D-wallclock] progress display only
     progress = None
     if not args.quiet:
         completed = [0]
@@ -227,7 +226,8 @@ def cmd_run_scheduler(args: argparse.Namespace,
             completed[0] += 1
             print(f"  [{completed[0]:>3}/{total}] {protocol:<5} "
                   f"speed={speed:<4g} rep={replication} "
-                  f"({time.time() - started:6.1f} s elapsed)", flush=True)
+                  f"({time.time() - started:6.1f} s elapsed)",  # repro-lint: ignore[D-wallclock] display
+                  flush=True)
 
     sweep = scheduler.run_sweep(settings, progress=progress)
     print(f"scheduler: {scheduler.cells_from_cache} cell(s) from cache, "
@@ -240,7 +240,7 @@ def cmd_run_scheduler(args: argparse.Namespace,
     if args.out:
         sweep.save(args.out)
         print(f"sweep result written to {args.out}")
-    print(f"wall-clock: {time.time() - started:.1f} s")
+    print(f"wall-clock: {time.time() - started:.1f} s")  # repro-lint: ignore[D-wallclock] display
     return 0
 
 
@@ -279,7 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"shard {shard}: {planned} of {len(settings.grid())} grid "
           f"cell(s)")
 
-    started = time.time()
+    started = time.time()  # repro-lint: ignore[D-wallclock] progress display only
     progress = None
     if not args.quiet:
         completed = [0]
@@ -288,7 +288,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             completed[0] += 1
             print(f"  [{completed[0]:>3}/{planned}] {protocol:<5} "
                   f"speed={speed:<4g} rep={replication} "
-                  f"({time.time() - started:6.1f} s elapsed)", flush=True)
+                  f"({time.time() - started:6.1f} s elapsed)",  # repro-lint: ignore[D-wallclock] display
+                  flush=True)
 
     piece = run_sweep_shard(settings, shard=shard, progress=progress,
                             executor=executor, plan=plan)
@@ -302,7 +303,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             piece.save(args.out)
             print(f"shard artifact written to {args.out}")
-    print(f"wall-clock: {time.time() - started:.1f} s")
+    print(f"wall-clock: {time.time() - started:.1f} s")  # repro-lint: ignore[D-wallclock] display
     return 0
 
 

@@ -35,7 +35,7 @@ import os
 import time
 from pathlib import Path
 from typing import (
-    Collection, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+    Collection, Dict, List, Optional, Sequence, Tuple, Union,
 )
 
 from repro.scenario.config import ScenarioConfig
@@ -80,7 +80,7 @@ class ResultCache:
         very large grids.
     """
 
-    def __init__(self, root: Union[str, os.PathLike]):
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = Path(root)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -104,8 +104,14 @@ class ResultCache:
     def __contains__(self, config: ScenarioConfig) -> bool:
         return self.path_for(config).is_file()
 
-    def _entry_files(self) -> Iterator[Path]:
-        return self.root.glob("??/*.json")
+    def _entry_files(self) -> List[Path]:
+        """Every entry file, in sorted order.
+
+        Sorted at the source so every consumer (stats, verify, prune,
+        gc, merge) walks entries in the same deterministic order on any
+        filesystem.
+        """
+        return sorted(self.root.glob("??/*.json"))
 
     def temp_files(self) -> List[Path]:
         """Temporary files left behind by in-flight or crashed writers.
@@ -130,7 +136,7 @@ class ResultCache:
         scheduler sweeps up after workers it *knows* are dead without
         racing other writers that may share the cache root.
         """
-        cutoff = time.time() - min_age_seconds
+        cutoff = time.time() - min_age_seconds  # repro-lint: ignore[D-wallclock] mtime GC only
         removed = 0
         for tmp in self.temp_files():
             if pids is not None and _temp_file_pid(tmp.name) not in pids:
@@ -278,7 +284,7 @@ class ResultCache:
         are well-formed misses, prunable but not corrupt).
         """
         problems: List[CacheProblem] = []
-        for path in sorted(self._entry_files()):
+        for path in self._entry_files():
             name_key = path.stem
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
@@ -336,7 +342,7 @@ class ResultCache:
                 removed_stale += 1
         temps = self.temp_files()
         if dry_run:
-            cutoff = time.time() - temp_min_age_seconds
+            cutoff = time.time() - temp_min_age_seconds  # repro-lint: ignore[D-wallclock] mtime GC only
             removed_temps = 0
             for tmp in temps:
                 try:
@@ -361,7 +367,7 @@ class ResultCache:
         """
         if max_age_seconds is None and max_total_bytes is None:
             raise ValueError("gc needs max_age_seconds and/or max_total_bytes")
-        now = time.time()
+        now = time.time()  # repro-lint: ignore[D-wallclock] entry-age GC, never a result input
         entries: List[Tuple[float, int, Path]] = []
         for path in self._entry_files():
             try:
@@ -417,7 +423,7 @@ class ResultCache:
             raise ValueError("cannot merge a cache into itself")
         copied = identical = conflicts = 0
         conflict_paths: List[Path] = []
-        for src_path in sorted(source._entry_files()):
+        for src_path in source._entry_files():
             dst_path = self.root / src_path.parent.name / src_path.name
             data = src_path.read_bytes()
             if dst_path.is_file():

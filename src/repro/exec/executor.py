@@ -85,7 +85,9 @@ class Executor(abc.ABC):
         one).  Configs with a cached result are not simulated at all.
     """
 
-    def __init__(self, cache: Optional[Union[ResultCache, str, os.PathLike]] = None):
+    def __init__(self,
+                 cache: Optional[Union[ResultCache, str, os.PathLike]]
+                 = None) -> None:
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -190,7 +192,7 @@ class ParallelExecutor(Executor):
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Optional[Union[ResultCache, str, os.PathLike]] = None,
                  mp_context: Union[str, multiprocessing.context.BaseContext,
-                                   None] = None):
+                                   None] = None) -> None:
         super().__init__(cache)
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -268,7 +270,7 @@ def _workers_arg(text: str) -> int:
     return value
 
 
-def add_executor_options(parser) -> None:
+def add_executor_options(parser: argparse.ArgumentParser) -> None:
     """Add the standard ``--workers`` / ``--cache`` options to ``parser``.
 
     The single definition all example scripts share; pair with
@@ -282,6 +284,6 @@ def add_executor_options(parser) -> None:
                              "simulate configurations not cached yet")
 
 
-def executor_from_args(args) -> Executor:
+def executor_from_args(args: argparse.Namespace) -> Executor:
     """Build an executor from options added by :func:`add_executor_options`."""
     return build_executor(args.workers, args.cache)

@@ -63,8 +63,10 @@ import multiprocessing.connection
 import os
 import tempfile
 import time
+from multiprocessing.connection import Connection
 from typing import (
-    Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union,
+    Callable, Collection, Dict, List, Optional, Sequence, Tuple,
+    TYPE_CHECKING, Union,
 )
 
 from repro.exec.cache import ResultCache
@@ -162,7 +164,8 @@ class FaultInjection:
 # ---------------------------------------------------------------------- #
 # worker entry point (module-level so it survives spawn start methods)
 # ---------------------------------------------------------------------- #
-def _scheduler_worker_main(conn, payload_json: str) -> None:
+def _scheduler_worker_main(conn: Connection,
+                           payload_json: str) -> None:
     """Run one work unit: simulate its cells, send back a shard artifact.
 
     The payload carries the sweep settings, the unit's canonical grid
@@ -287,7 +290,7 @@ class ClusterExecutor:
                  faults: Sequence[FaultInjection] = (),
                  worker_timeout: Optional[float] = None,
                  mp_context: Union[str, multiprocessing.context.BaseContext,
-                                   None] = None):
+                                   None] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if workers is not None and workers < 1:
@@ -393,7 +396,8 @@ class ClusterExecutor:
         return merger.result()
 
     @staticmethod
-    def _sweep_orphans(cache: ResultCache, dead_pids) -> int:
+    def _sweep_orphans(cache: ResultCache,
+                       dead_pids: Collection[int]) -> int:
         """Remove temp files of known-dead workers, plus ancient strays.
 
         The cache root may be shared with other live writers (parallel
@@ -457,16 +461,16 @@ class ClusterExecutor:
                     sender.close()
                     live[receiver] = (unit_index, process)
                     if self.worker_timeout is not None:
-                        deadlines[receiver] = (time.monotonic()
-                                               + self.worker_timeout)
+                        started_at = time.monotonic()  # repro-lint: ignore[D-wallclock] liveness only
+                        deadlines[receiver] = started_at + self.worker_timeout
                         unit_cells[receiver] = cells
                         # Unit cells were cache misses when planned.
                         cached_counts[receiver] = 0
                     self.workers_launched += 1
                 wait_timeout = None
                 if deadlines:
-                    wait_timeout = max(0.0, min(deadlines.values())
-                                       - time.monotonic())
+                    mono_now = time.monotonic()  # repro-lint: ignore[D-wallclock] liveness only
+                    wait_timeout = max(0.0, min(deadlines.values()) - mono_now)
                 ready = multiprocessing.connection.wait(list(live),
                                                         timeout=wait_timeout)
                 for receiver in ready:
@@ -497,7 +501,7 @@ class ClusterExecutor:
                 # wedged — terminate it and let the rebalancing path
                 # treat it exactly like a crashed machine (cells it
                 # cached before wedging are recovered for free).
-                now = time.monotonic()
+                now = time.monotonic()  # repro-lint: ignore[D-wallclock] heartbeat deadline check
                 expired = [r for r, deadline in deadlines.items()
                            if deadline <= now and r in live]
                 for receiver in expired:

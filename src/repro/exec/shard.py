@@ -203,14 +203,18 @@ def run_sweep_shard(settings: Optional["SweepSettings"] = None,
     mine = plan[shard.index]
     configs = [settings.cell_config(*grid[index]) for index in mine]
 
-    executor_progress = None
+    callback = None
     if progress is not None:
+        outer = progress
+
         def executor_progress(position: int, config: ScenarioConfig,
                               result: ScenarioResult) -> None:
             protocol, speed, replication = grid[mine[position]]
-            progress(protocol, speed, replication, result)
+            outer(protocol, speed, replication, result)
 
-    results = runner.run(configs, progress=executor_progress)
+        callback = executor_progress
+
+    results = runner.run(configs, progress=callback)
     return SweepShard(settings=settings, shard=shard,
                       results=dict(zip(mine, results)))
 
@@ -255,7 +259,7 @@ class ShardMerger:
     split across new work units.
     """
 
-    def __init__(self, settings: "SweepSettings"):
+    def __init__(self, settings: "SweepSettings") -> None:
         self.settings = settings
         self._settings_json = settings.to_json()
         self._grid_size = len(settings.grid())

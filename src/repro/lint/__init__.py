@@ -1,0 +1,52 @@
+"""``repro.lint`` — determinism & cache-contract static analysis.
+
+An AST-based linter enforcing the three invariants this reproduction
+depends on: bit-for-bit determinism across every execution path
+(D-series rules), the "behaviour-changing PRs bump ``repro.version``"
+cache contract (C-series, via the committed ``CACHE_SCHEMA.json``
+snapshot), and complete registry metadata for scenario-as-data
+(R-series).  Run it with ``repro-lint`` or ``python -m repro.cli lint``;
+silence individual findings with ``# repro-lint: ignore[RULE] why``.
+"""
+
+from repro.lint.contracts import (
+    check_cache_schema,
+    check_serializers,
+    compute_cache_schema,
+    find_package_root,
+    write_cache_schema,
+)
+from repro.lint.determinism import check_determinism
+from repro.lint.findings import (
+    RULE_CATALOG,
+    Finding,
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.lint.registry_rules import (
+    Registration,
+    check_registrations,
+    scan_registrations,
+)
+from repro.lint.runner import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "RULE_CATALOG",
+    "Finding",
+    "LintReport",
+    "Registration",
+    "Suppression",
+    "apply_suppressions",
+    "check_cache_schema",
+    "check_determinism",
+    "check_registrations",
+    "check_serializers",
+    "compute_cache_schema",
+    "find_package_root",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "scan_registrations",
+    "write_cache_schema",
+]

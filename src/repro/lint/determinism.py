@@ -1,0 +1,253 @@
+"""D-series rules: statically reachable determinism hazards.
+
+Every rule here flags a *hazard class*, not a proven bug: code that
+reads wall clocks or OS entropy, draws from unseeded random streams, or
+iterates structures whose order differs across processes can silently
+break the bit-for-bit reproducibility contract the golden digests pin.
+The linter shifts that check from "the profiles we happen to run" to
+"every module, at review time".
+
+All checks are pure AST walks — nothing is imported or executed — so
+snippets, broken trees, and worker-only modules lint the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.findings import Finding
+
+#: The one module allowed to construct generators and draw OS entropy:
+#: every other module must go through its seeded named streams.
+SANCTIONED_RNG_MODULE = "sim/rng.py"
+
+#: Dotted call suffixes that read a wall clock.  Matched against the
+#: full dotted form of the call target (``datetime.datetime.now`` and
+#: ``datetime.now`` both end with ``datetime.now``).
+_WALLCLOCK_SUFFIXES = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+
+#: Dotted call targets that draw OS entropy.
+_ENTROPY_EXACT = {
+    "os.urandom", "uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5",
+    "uuid.getnode", "urandom", "uuid1", "uuid4",
+}
+
+#: numpy.random constructors/mutators that mint *new* unseeded-by-name
+#: randomness outside the RngRegistry discipline.
+_NP_RANDOM_CALLS = {
+    "default_rng", "RandomState", "seed", "SeedSequence", "Generator",
+    "PCG64", "Philox", "MT19937",
+}
+
+#: Bare names (after ``from ... import ...``) that construct generators.
+_BARE_RNG_CALLS = {"default_rng", "RandomState", "SeedSequence", "Random"}
+
+#: Calls that scan the filesystem in platform-dependent order.
+_LISTDIR_EXACT = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+                  "listdir", "scandir", "iglob"}
+#: Method names that scan in platform-dependent order on Path-like
+#: objects (heuristic: any receiver counts; suppress false positives).
+_LISTDIR_METHODS = {"iterdir", "glob", "rglob"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute/name chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _wrapped_in_sorted(node: ast.AST,
+                       parents: Dict[ast.AST, ast.AST]) -> bool:
+    """Whether ``node`` sits (at any depth) inside a ``sorted(...)`` call."""
+    current: Optional[ast.AST] = parents.get(node)
+    while current is not None and not isinstance(current, ast.stmt):
+        if (isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id == "sorted"):
+            return True
+        current = parents.get(current)
+    return False
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.AST]:
+    """The ``iter`` expression of every for loop and comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+def _lambda_uses_identity(node: ast.Lambda) -> bool:
+    for inner in ast.walk(node.body):
+        if (isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name)
+                and inner.func.id in ("id", "hash")):
+            return True
+    return False
+
+
+def check_determinism(tree: ast.AST, path: str) -> List[Finding]:
+    """Run every D-series rule over one parsed module."""
+    findings: List[Finding] = []
+    normalized = path.replace("\\", "/")
+    is_rng_module = normalized.endswith(SANCTIONED_RNG_MODULE)
+    parents = _build_parents(tree)
+
+    def add(rule: str, node: ast.AST, message: str, hint: str) -> None:
+        findings.append(Finding(rule=rule, path=path,
+                                line=getattr(node, "lineno", 1),
+                                col=getattr(node, "col_offset", 0),
+                                message=message, hint=hint))
+
+    for node in ast.walk(tree):
+        # ----- D-rng: imports of the global random module ------------- #
+        if isinstance(node, ast.Import) and not is_rng_module:
+            for alias in node.names:
+                if alias.name == "random":
+                    add("D-rng", node,
+                        "import of the global `random` module",
+                        "draw from sim.rng(<stream>) / "
+                        "repro.sim.rng.RngRegistry instead")
+        if isinstance(node, ast.ImportFrom) and not is_rng_module:
+            if node.module == "random":
+                add("D-rng", node,
+                    "import from the global `random` module",
+                    "draw from sim.rng(<stream>) / "
+                    "repro.sim.rng.RngRegistry instead")
+
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            # Method call on a computed receiver (e.g. Path('.').iterdir())
+            # — only the attribute name is statically knowable.
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _LISTDIR_METHODS
+                    and not _wrapped_in_sorted(node, parents)):
+                add("D-listdir", node,
+                    f"unsorted filesystem scan `.{node.func.attr}(...)`",
+                    "wrap the scan in sorted(...) — directory order is "
+                    "platform- and history-dependent")
+            continue
+        parts = dotted.split(".")
+
+        # ----- D-wallclock -------------------------------------------- #
+        if any(dotted == suffix or dotted.endswith("." + suffix)
+               for suffix in _WALLCLOCK_SUFFIXES):
+            add("D-wallclock", node, f"wall-clock read `{dotted}(...)`",
+                "simulation code must derive times from sim.now; "
+                "operational code may suppress with a justification")
+            continue
+
+        # ----- D-entropy ---------------------------------------------- #
+        if not is_rng_module and (dotted in _ENTROPY_EXACT
+                                  or dotted.startswith("secrets.")
+                                  or ".secrets." in f".{dotted}."
+                                  and parts[-1].startswith("token")):
+            add("D-entropy", node, f"OS entropy source `{dotted}(...)`",
+                "derive pseudo-random bytes from a named seeded stream "
+                "(repro.sim.rng) so runs replay bit-for-bit")
+            continue
+
+        # ----- D-rng: generator construction / global draws ----------- #
+        if not is_rng_module:
+            if dotted.startswith("random."):
+                add("D-rng", node,
+                    f"draw from the global `random` module "
+                    f"(`{dotted}(...)`)",
+                    "use the seeded named streams: sim.rng(<stream>)")
+                continue
+            if (len(parts) >= 3 and parts[-2] == "random"
+                    and parts[-1] in _NP_RANDOM_CALLS):
+                add("D-rng", node,
+                    f"ad-hoc numpy generator `{dotted}(...)`",
+                    "only repro/sim/rng.py may construct generators; "
+                    "everything else asks for a named stream")
+                continue
+            if len(parts) == 1 and dotted in _BARE_RNG_CALLS:
+                add("D-rng", node, f"ad-hoc generator `{dotted}(...)`",
+                    "only repro/sim/rng.py may construct generators; "
+                    "everything else asks for a named stream")
+                continue
+
+        # ----- D-listdir ---------------------------------------------- #
+        is_scan = (dotted in _LISTDIR_EXACT
+                   or (len(parts) >= 2 and parts[-1] in _LISTDIR_METHODS))
+        if is_scan and not _wrapped_in_sorted(node, parents):
+            add("D-listdir", node,
+                f"unsorted filesystem scan `{dotted}(...)`",
+                "wrap the scan in sorted(...) — directory order is "
+                "platform- and history-dependent")
+            continue
+
+        # ----- D-id-order --------------------------------------------- #
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            add("D-id-order", node, "call to builtin hash()",
+                "str/bytes hashes are salted per process; use "
+                "hashlib.sha256 or an explicit key")
+            continue
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ("sorted", "min", "max")) \
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"):
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                identity = (isinstance(value, ast.Name)
+                            and value.id in ("id", "hash"))
+                if not identity and isinstance(value, ast.Lambda):
+                    identity = _lambda_uses_identity(value)
+                if identity:
+                    add("D-id-order", node,
+                        "ordering by id()/hash() of objects",
+                        "sort by a stable, content-derived key instead")
+
+        # ----- D-dict-agg --------------------------------------------- #
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ("sum", "min", "max") and node.args):
+            first = node.args[0]
+            if (isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Attribute)
+                    and first.func.attr == "keys"):
+                add("D-dict-agg", node,
+                    f"{node.func.id}() over dict.keys()",
+                    "aggregate sorted(d) so cross-process key order "
+                    "can never matter")
+
+    # ----- D-set-iter (separate pass: needs iteration context) -------- #
+    for site in _iteration_sites(tree):
+        if _is_set_expression(site):
+            add("D-set-iter", site, "iteration over a set/frozenset",
+                "iterate sorted(<set>) — set order varies with hash "
+                "seeds and insertion history")
+
+    return findings

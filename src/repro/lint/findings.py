@@ -1,0 +1,174 @@
+"""Finding records and suppression comments for ``repro-lint``.
+
+A :class:`Finding` is one rule violation anchored to a file location.
+Findings can be silenced per line with a suppression comment::
+
+    started = time.time()  # repro-lint: ignore[D-wallclock] progress display only
+
+The bracket names one or more rule ids (comma-separated); everything
+after the bracket is the *justification*.  In ``--strict`` mode (the CI
+gate) a suppression without a justification is itself a finding
+(``S-justify``), and a suppression that silences nothing is flagged too
+(``S-unused``) — "zero silent ignores" is part of the contract this
+linter enforces, not just a convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Sequence, Tuple
+
+#: Rule catalogue: id -> one-line description (``repro-lint --list-rules``
+#: and the README table are both rendered from this).
+RULE_CATALOG: Dict[str, str] = {
+    # --- determinism (D-series) --------------------------------------- #
+    "D-wallclock": "wall-clock read (time.time/monotonic/perf_counter, "
+                   "datetime.now) in simulation-adjacent code",
+    "D-entropy": "OS entropy source (os.urandom, uuid.*, secrets.*)",
+    "D-rng": "global `random` module or ad-hoc numpy generator instead of "
+             "the seeded repro.sim.rng streams",
+    "D-set-iter": "iteration over a set/frozenset (order varies across "
+                  "processes)",
+    "D-listdir": "unsorted os.listdir/scandir, glob, or Path.iterdir/glob "
+                 "scan (filesystem order is platform-dependent)",
+    "D-id-order": "ordering by id()/hash() (per-process addresses / "
+                  "salted hashes)",
+    "D-dict-agg": "sum()/min()/max() over dict.keys() (make the ordering "
+                  "contract explicit)",
+    # --- cache contract (C-series) ------------------------------------ #
+    "C-schema-drift": "config_key-relevant schema changed without a "
+                      "repro.version bump",
+    "C-schema-stale": "repro.version changed but CACHE_SCHEMA.json was "
+                      "not regenerated",
+    "C-schema-missing": "CACHE_SCHEMA.json not found next to the package",
+    "C-serializer": "dataclass field not covered by its to_dict "
+                    "serializer",
+    # --- registry contract (R-series) --------------------------------- #
+    "R-params": "component registered without an explicit Param schema "
+                "(pass params=() if it truly has none)",
+    "R-kind": "transport registered without `kind` metadata",
+    "R-requires": "application registered without `requires_transport` "
+                  "metadata",
+    "R-consistency": "requires_transport names a kind no registered "
+                     "transport declares",
+    # --- linter hygiene (S-series, strict mode only) ------------------- #
+    "S-justify": "suppression comment without a justification",
+    "S-unused": "suppression comment that silences nothing",
+    # --- parse errors -------------------------------------------------- #
+    "E-syntax": "file does not parse",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """The canonical one-line report form."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_\-, ]+)\]\s*(.*?)\s*$")
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One ``# repro-lint: ignore[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "*" in self.rules
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment of ``source`` (line-anchored).
+
+    Only genuine COMMENT tokens count — a suppression *example* inside a
+    docstring or string literal is text, not a directive (the linter's
+    own documentation would otherwise suppress itself).
+    """
+    out: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",")
+                      if part.strip())
+        out.append(Suppression(line=token.start[0], rules=rules,
+                               justification=match.group(2)))
+    return out
+
+
+def apply_suppressions(findings: Sequence[Finding],
+                       suppressions: Sequence[Suppression],
+                       path: str, strict: bool) -> List[Finding]:
+    """Drop findings silenced by a same-line suppression comment.
+
+    In ``strict`` mode, suppression-hygiene findings (``S-justify`` for
+    missing justifications, ``S-unused`` for comments that silence
+    nothing) are appended — suppressions themselves cannot be
+    suppressed.
+    """
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    kept: List[Finding] = []
+    for finding in findings:
+        silenced = False
+        for suppression in by_line.get(finding.line, ()):
+            if suppression.covers(finding.rule):
+                suppression.used = True
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+    if strict:
+        for suppression in suppressions:
+            unknown = sorted(set(suppression.rules) - set(RULE_CATALOG)
+                             - {"*"})
+            if unknown:
+                kept.append(Finding(
+                    rule="S-unused", path=path, line=suppression.line,
+                    col=0,
+                    message=f"suppression names unknown rule(s) "
+                            f"{', '.join(unknown)}",
+                    hint="see repro-lint --list-rules"))
+            if suppression.used and not suppression.justification:
+                kept.append(Finding(
+                    rule="S-justify", path=path, line=suppression.line,
+                    col=0,
+                    message="suppression has no justification",
+                    hint="say *why* after the bracket: "
+                         "# repro-lint: ignore[RULE] because ..."))
+            if not suppression.used and not unknown:
+                kept.append(Finding(
+                    rule="S-unused", path=path, line=suppression.line,
+                    col=0,
+                    message=f"suppression of "
+                            f"{', '.join(suppression.rules)} silences "
+                            f"nothing on this line",
+                    hint="delete the stale comment"))
+    return kept

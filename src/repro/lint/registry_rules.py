@@ -1,0 +1,126 @@
+"""R-series rules: registry metadata contracts.
+
+Every stack layer is a :class:`repro.registry.ComponentRegistry`, and
+scenario configs select components *by name* — so the registry metadata
+is the only machine-readable description of what a component accepts.
+Three things must hold for "scenario-as-data" to stay trustworthy:
+
+* **R-params** — every registration declares a ``Param`` schema
+  (``params=()`` if it truly takes none), so ``validate_params`` can
+  reject typos instead of silently ignoring them;
+* **R-kind / R-requires** — transports say what ``kind`` they are and
+  applications say which ``requires_transport`` they need, so the
+  builder can refuse impossible stacks before simulating anything;
+* **R-consistency** — each ``requires_transport`` names a kind some
+  registered transport actually declares.
+
+The scan is cross-file: registrations are collected per module, then
+checked together, because transports and applications live in different
+packages.  Consistency is only enforced when the linted tree registers
+at least one transport — linting a lone fixture file never produces
+phantom R-consistency findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import List, Optional
+
+from repro.lint.findings import Finding
+
+#: The five layer registries, by their conventional module-level names.
+LAYER_REGISTRIES = ("MOBILITY", "PROPAGATION", "ROUTING", "TRANSPORT",
+                    "APPLICATION")
+
+
+@dataclasses.dataclass(frozen=True)
+class Registration:
+    """One ``<LAYER>.register("name", ...)`` call site."""
+
+    layer: str
+    name: str
+    path: str
+    line: int
+    col: int
+    has_params: bool
+    kind: Optional[str]
+    requires_transport: Optional[str]
+
+
+def scan_registrations(tree: ast.AST, path: str) -> List[Registration]:
+    """Collect every layer-registry ``register`` call in one module."""
+    found: List[Registration] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in LAYER_REGISTRIES):
+            continue
+        name = "?"
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            name = node.args[0].value
+        has_params = False
+        kind: Optional[str] = None
+        requires: Optional[str] = None
+        for keyword in node.keywords:
+            if keyword.arg == "params":
+                has_params = True
+            elif keyword.arg == "kind" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, str):
+                kind = keyword.value.value
+            elif keyword.arg == "requires_transport" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, str):
+                requires = keyword.value.value
+        found.append(Registration(
+            layer=node.func.value.id, name=name, path=path,
+            line=node.lineno, col=node.col_offset, has_params=has_params,
+            kind=kind, requires_transport=requires))
+    return found
+
+
+def check_registrations(registrations: List[Registration]) -> List[Finding]:
+    """R-series findings over all collected registrations."""
+    findings: List[Finding] = []
+    transport_kinds = sorted({r.kind for r in registrations
+                              if r.layer == "TRANSPORT" and r.kind})
+    saw_transport = any(r.layer == "TRANSPORT" for r in registrations)
+    for reg in registrations:
+        where = f"{reg.layer}:{reg.name}"
+        if not reg.has_params:
+            findings.append(Finding(
+                rule="R-params", path=reg.path, line=reg.line, col=reg.col,
+                message=f"{where} registered without a Param schema",
+                hint="declare params=(Param(...), ...) — or params=() to "
+                     "state explicitly that it takes none"))
+        if reg.layer == "TRANSPORT" and reg.kind is None:
+            findings.append(Finding(
+                rule="R-kind", path=reg.path, line=reg.line, col=reg.col,
+                message=f"{where} registered without `kind` metadata",
+                hint='tag the transport family, e.g. kind="tcp" — '
+                     "applications match on it"))
+        if reg.layer == "APPLICATION" and reg.requires_transport is None:
+            findings.append(Finding(
+                rule="R-requires", path=reg.path, line=reg.line,
+                col=reg.col,
+                message=f"{where} registered without `requires_transport` "
+                        f"metadata",
+                hint="declare which transport kind the app runs over so "
+                     "the builder can refuse impossible stacks"))
+        if (reg.layer == "APPLICATION" and reg.requires_transport
+                and saw_transport
+                and reg.requires_transport not in transport_kinds):
+            findings.append(Finding(
+                rule="R-consistency", path=reg.path, line=reg.line,
+                col=reg.col,
+                message=f"{where} requires transport kind "
+                        f"`{reg.requires_transport}` but registered "
+                        f"transports only declare "
+                        f"{transport_kinds or ['<none>']}",
+                hint="align requires_transport with a registered "
+                     "transport's kind"))
+    return findings

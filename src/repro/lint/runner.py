@@ -1,0 +1,161 @@
+"""The ``repro-lint`` driver: walk, parse, check, report.
+
+Per file (in sorted path order, so reports are deterministic — the
+linter practices what it preaches): parse once, run the D-series
+determinism rules, C-serializer coverage, and collect registry
+registrations; then apply same-line suppression comments.  Project-wide
+(once per run, when the linted tree contains the ``repro`` package):
+the C-schema snapshot comparison and the R-series registry checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.lint.contracts import (
+    check_cache_schema,
+    check_serializers,
+    find_package_root,
+)
+from repro.lint.determinism import check_determinism
+from repro.lint.findings import (
+    Finding,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.lint.registry_rules import (
+    Registration,
+    check_registrations,
+    scan_registrations,
+)
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    strict: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.findings:
+            count = len(self.findings)
+            lines.append(f"repro-lint: {count} finding"
+                         f"{'s' if count != 1 else ''} in "
+                         f"{self.files_checked} {noun}")
+        else:
+            lines.append(f"repro-lint: {self.files_checked} {noun} clean")
+        return "\n".join(lines)
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+def lint_source(source: str, path: str = "<string>",
+                strict: bool = False) -> List[Finding]:
+    """Lint one source string with the per-file rules.
+
+    The project-level rules (C-schema, R-consistency across files) need
+    a tree on disk and do not run here; registry *metadata* rules do,
+    so fixtures can exercise R-params/R-kind/R-requires directly.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(rule="E-syntax", path=path,
+                        line=error.lineno or 1, col=error.offset or 0,
+                        message=f"file does not parse: {error.msg}",
+                        hint="")]
+    findings = check_determinism(tree, path)
+    findings += check_serializers(tree, path)
+    registrations = scan_registrations(tree, path)
+    findings += check_registrations(registrations)
+    suppressions = parse_suppressions(source)
+    findings = apply_suppressions(findings, suppressions, path, strict)
+    return sorted(findings, key=_sort_key)
+
+
+def _walk(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(sorted(path.rglob("*.py")))
+    # De-duplicate while preserving deterministic order.
+    seen = set()
+    unique: List[Path] = []
+    for file in sorted(files):
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def lint_paths(paths: Sequence[Union[str, Path]], strict: bool = False,
+               schema_path: Optional[Union[str, Path]] = None) -> LintReport:
+    """Lint files and directories; the full ``repro-lint`` pass.
+
+    ``schema_path`` overrides where the committed ``CACHE_SCHEMA.json``
+    is looked up; by default it sits two levels above the ``repro``
+    package directory (i.e. at the repository root for ``src/repro``).
+    """
+    roots = [Path(p) for p in paths]
+    files = _walk(roots)
+    findings: List[Finding] = []
+    registrations: List[Registration] = []
+    # R-series findings are cross-file (R-consistency needs every
+    # transport kind), so per-file findings are buffered and suppressions
+    # applied only after the registry pass has run.
+    buffered: List[tuple] = []
+
+    for file in files:
+        rel = str(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as error:
+            findings.append(Finding(rule="E-syntax", path=rel, line=1,
+                                    col=0, message=f"unreadable: {error}",
+                                    hint=""))
+            continue
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as error:
+            findings.append(Finding(rule="E-syntax", path=rel,
+                                    line=error.lineno or 1,
+                                    col=error.offset or 0,
+                                    message=f"file does not parse: "
+                                            f"{error.msg}",
+                                    hint=""))
+            continue
+        file_findings = check_determinism(tree, rel)
+        file_findings += check_serializers(tree, rel)
+        registrations += scan_registrations(tree, rel)
+        buffered.append((rel, file_findings, parse_suppressions(source)))
+
+    registry_findings = check_registrations(registrations)
+    for rel, file_findings, suppressions in buffered:
+        file_findings += [finding for finding in registry_findings
+                          if finding.path == rel]
+        findings += apply_suppressions(file_findings, suppressions, rel,
+                                       strict)
+
+    package_root = find_package_root(roots)
+    if package_root is not None:
+        resolved_schema = Path(schema_path) if schema_path is not None \
+            else package_root.parent.parent / "CACHE_SCHEMA.json"
+        findings += check_cache_schema(package_root, resolved_schema)
+
+    return LintReport(findings=sorted(findings, key=_sort_key),
+                      files_checked=len(files), strict=strict)

@@ -36,8 +36,9 @@ __all__ = [
 from repro.registry import MOBILITY, Param  # noqa: E402
 
 
-@MOBILITY.register("static", description="fixed positions (explicit or "
-                                         "uniformly random)")
+@MOBILITY.register("static", params=(),
+                   description="fixed positions (explicit or uniformly "
+                               "random)")
 def _make_static(config, params, *, rng, node_id):
     if config.static_positions is not None:
         x, y = config.static_positions[node_id]
@@ -56,7 +57,7 @@ def _make_random_walk(config, params, *, rng, node_id):
                       min_speed=config.min_speed, **params)
 
 
-@MOBILITY.register("random_waypoint",
+@MOBILITY.register("random_waypoint", params=(),
                    description="the paper's random waypoint model")
 def _make_random_waypoint(config, params, *, rng, node_id):
     return RandomWaypoint(rng, field_size=config.field_size,

@@ -17,7 +17,7 @@ The MAC layer (:mod:`repro.mac.dcf`) drives the interface through
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.channel import WirelessChannel

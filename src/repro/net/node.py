@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
-from repro.net.addressing import BROADCAST, validate_node_id
+from repro.net.addressing import validate_node_id
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mobility.base import MobilityModel

@@ -47,7 +47,7 @@ import dataclasses
 import difflib
 import importlib
 from typing import (
-    Callable, Dict, Mapping, Optional, Sequence, Tuple, Union,
+    Callable, Dict, Mapping, Optional, Sequence, Tuple,
 )
 
 __all__ = [
@@ -69,7 +69,8 @@ __all__ = [
 class UnknownComponentError(ValueError):
     """An unregistered component name, with "did you mean" suggestions."""
 
-    def __init__(self, layer: str, name: str, known: Sequence[str]):
+    def __init__(self, layer: str, name: str,
+                 known: Sequence[str]) -> None:
         self.layer = layer
         self.name = name
         self.known = tuple(known)
@@ -133,7 +134,8 @@ class Component:
     metadata: Mapping[str, object] = dataclasses.field(default_factory=dict)
 
 
-def params_from_dataclass(cls, exclude: Sequence[str] = ()) -> Tuple[Param, ...]:
+def params_from_dataclass(cls: type,
+                          exclude: Sequence[str] = ()) -> Tuple[Param, ...]:
     """Derive a :class:`Param` schema from a config dataclass.
 
     Every field with a default becomes a parameter; the accepted type is
@@ -167,7 +169,7 @@ class ComponentRegistry:
     """
 
     def __init__(self, layer: str,
-                 populate: Optional[Callable[[], None]] = None):
+                 populate: Optional[Callable[[], None]] = None) -> None:
         self.layer = layer
         #: Optional hook run before lookups (the package-level
         #: registries use :func:`ensure_registered`); a registry built
@@ -181,7 +183,7 @@ class ComponentRegistry:
     # ------------------------------------------------------------------ #
     def register(self, name: str, factory: Optional[Callable] = None, *,
                  params: Sequence[Param] = (), description: str = "",
-                 **metadata) -> Callable:
+                 **metadata: object) -> Callable:
         """Register ``factory`` under ``name``; usable as a decorator.
 
         Raises :class:`ValueError` on duplicate names — two components
@@ -197,7 +199,7 @@ class ComponentRegistry:
         existing = self._components.get(name)
         if existing is not None:
 
-            def source_of(func):
+            def source_of(func: Callable) -> Tuple[object, object, object]:
                 code = getattr(func, "__code__", None)
                 return (getattr(func, "__module__", None),
                         getattr(func, "__qualname__", None),
@@ -282,7 +284,7 @@ class ComponentRegistry:
     # ------------------------------------------------------------------ #
     def create(self, name: str,
                params: Optional[Mapping[str, object]] = None, *,
-               config, **context):
+               config: object, **context: object) -> object:
         """Validate ``params`` and call the component's factory.
 
         The factory receives ``(config, params, **context)``; ``context``

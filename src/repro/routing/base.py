@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 from repro.net.addressing import BROADCAST
 from repro.net.packet import Packet

@@ -14,7 +14,6 @@ broken are scrubbed from every cached path.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 

@@ -16,7 +16,7 @@ the channel.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, Set, TYPE_CHECKING
 
 import numpy as np
 

@@ -47,7 +47,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RngRegistry
@@ -99,7 +102,8 @@ class Simulator:
     #: heap.  At one half, compaction work is O(live events) amortised.
     _COMPACT_GARBAGE_FRACTION = 0.5
 
-    def __init__(self, seed: Optional[int] = None, trace: bool = False):
+    def __init__(self, seed: Optional[int] = None,
+                 trace: bool = False) -> None:
         #: Current simulation time in seconds.  A plain attribute, not a
         #: property: it is read over a million times per smoke-profile run
         #: (every carrier-sense check and schedule), and descriptor
@@ -155,7 +159,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # random streams
     # ------------------------------------------------------------------ #
-    def rng(self, stream: str):
+    def rng(self, stream: str) -> "np.random.Generator":
         """Return the named, deterministic random stream ``stream``.
 
         Repeated calls with the same name return the same generator
@@ -322,7 +326,9 @@ class Simulator:
                 if horizon > limit:
                     # Unlike a pop-then-push-back scheme, the entry never
                     # leaves the heap; callers may resume the run later.
-                    self.now = until
+                    # limit == until here: the branch is unreachable with
+                    # an unbounded run (limit = inf exceeds every horizon).
+                    self.now = limit
                     break
                 if horizon < self.now:  # pragma: no cover - invariant
                     raise SimulationError("event time went backwards")

@@ -55,7 +55,7 @@ class Event:
 
     def __init__(self, time: float, priority: int, sequence: int,
                  callback: Callable[..., Any], args: tuple = (),
-                 kwargs: Optional[dict] = None):
+                 kwargs: Optional[dict] = None) -> None:
         self.time = time
         self.priority = priority
         self.sequence = sequence
@@ -83,7 +83,7 @@ class EventHandle:
 
     __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event, sim: Optional["Simulator"] = None):
+    def __init__(self, event: Event, sim: Optional["Simulator"] = None) -> None:
         self._event = event
         self._sim = sim
 

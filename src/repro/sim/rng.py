@@ -40,7 +40,7 @@ class RngRegistry:
         :attr:`master_seed` so the run can still be reproduced afterwards).
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None) -> None:
         if seed is None:
             seed = int(np.random.SeedSequence().entropy % (2 ** 63))
         self.master_seed = int(seed)

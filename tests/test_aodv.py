@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.mobility.base import StaticMobility
 from repro.routing.aodv import AodvAgent, AodvConfig
 from repro.sim.engine import Simulator

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.mobility.base import StaticMobility
 from repro.routing.dsr import DsrAgent, DsrConfig
 from repro.routing.packets import SRCROUTE_KEY

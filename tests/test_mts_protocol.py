@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.mts import MtsAgent, MtsConfig
 from repro.mobility.base import StaticMobility
 from repro.net.packet import Packet, PacketKind

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.addressing import BROADCAST, is_broadcast, validate_node_id
+from repro.net.addressing import is_broadcast, validate_node_id
 from repro.net.packet import (
     Packet, PacketKind, is_data_kind, is_routing_kind,
 )
