@@ -34,6 +34,30 @@ class CaseDelta:
     #: Seed-pinned event counts must match; a mismatch means the
     #: simulated workload itself changed between the artifacts.
     events_match: bool
+    #: Kernel efficiency counters: prefilter output size / hit rate (from
+    #: the channel's ``grid_stats()``) and the run loop's mean horizon
+    #: batch.  Defaulted to 0.0 so artifacts recorded before a counter
+    #: existed still compare — the counter line then reads as "no data"
+    #: instead of raising.
+    base_mean_refined_set: float = 0.0
+    new_mean_refined_set: float = 0.0
+    base_prefilter_hit_rate: float = 0.0
+    new_prefilter_hit_rate: float = 0.0
+    base_mean_batch_size: float = 0.0
+    new_mean_batch_size: float = 0.0
+
+    @property
+    def refined_growth_pct(self) -> float:
+        """Growth of the mean refined (post-prefilter) set, in percent.
+
+        Positive = the prefilter lets more candidates through in the
+        candidate artifact, i.e. the exact per-candidate stage does more
+        work per transmission.  0.0 when either side has no data.
+        """
+        if self.base_mean_refined_set <= 0 or self.new_mean_refined_set <= 0:
+            return 0.0
+        return _delta_pct(self.base_mean_refined_set,
+                          self.new_mean_refined_set)
 
 
 @dataclasses.dataclass
@@ -88,8 +112,22 @@ class CompareReport:
         """True when total events/sec dropped by more than the threshold."""
         return self.total_delta_pct < -threshold_pct
 
+    def refined_regressions(self, threshold_pct: float) -> List[CaseDelta]:
+        """Cases whose mean refined set grew past ``threshold_pct``.
+
+        A growing refined set means the prefilter got leakier — more
+        exact per-candidate work per transmission — which is an
+        efficiency smell even when raw events/sec still passes (e.g. a
+        faster machine masking a fatter kernel).  This check only
+        *warns*: refined-set size is workload-dependent, so the gate
+        stays on events/sec.
+        """
+        return [delta for delta in self.deltas
+                if delta.refined_growth_pct > threshold_pct]
+
     def format(self, threshold_pct: Optional[float] = None,
-               min_speedup: Optional[float] = None) -> str:
+               min_speedup: Optional[float] = None,
+               refined_threshold_pct: Optional[float] = None) -> str:
         """Human-readable comparison table."""
         base_host = (self.base.meta or {}).get("host", "?")
         new_host = (self.new.meta or {}).get("host", "?")
@@ -113,6 +151,16 @@ class CompareReport:
                 f"  {delta.name:<14} {delta.base_events_per_sec:>10.0f} -> "
                 f"{delta.new_events_per_sec:>10.0f} ev/s "
                 f"({delta.delta_pct:+7.2f} %){note}")
+            if (delta.base_mean_refined_set > 0
+                    or delta.new_mean_refined_set > 0):
+                lines.append(
+                    f"  {'':<14} refined(mean) "
+                    f"{delta.base_mean_refined_set:.2f} -> "
+                    f"{delta.new_mean_refined_set:.2f}  "
+                    f"hit-rate {delta.base_prefilter_hit_rate:.3f} -> "
+                    f"{delta.new_prefilter_hit_rate:.3f}  "
+                    f"batch(mean) {delta.base_mean_batch_size:.2f} -> "
+                    f"{delta.new_mean_batch_size:.2f}")
         for name in self.only_in_base:
             lines.append(f"  {name:<14} only in baseline  "
                          f"[workload changed!]")
@@ -126,6 +174,15 @@ class CompareReport:
                      f"{_matched_events_per_sec(self.new, matched):>10.0f}"
                      f" ev/s ({self.total_delta_pct:+7.2f} %, matched "
                      f"cases)")
+        if refined_threshold_pct is not None:
+            for delta in self.refined_regressions(refined_threshold_pct):
+                lines.append(
+                    f"warning: {delta.name}: mean refined set grew "
+                    f"{delta.refined_growth_pct:+.1f} % "
+                    f"({delta.base_mean_refined_set:.2f} -> "
+                    f"{delta.new_mean_refined_set:.2f}); the prefilter "
+                    f"got leakier (not gated — the verdict stays on "
+                    f"events/sec)")
         if threshold_pct is not None or min_speedup is not None:
             if self.workload_changed:
                 lines.append("verdict: WORKLOAD CHANGED — event counts "
@@ -185,6 +242,18 @@ def compare_reports(base: BenchReport, new: BenchReport) -> CompareReport:
             delta_pct=_delta_pct(base_cases[name].events_per_sec,
                                  new_cases[name].events_per_sec),
             events_match=(base_cases[name].events == new_cases[name].events),
+            # .get with 0.0: grid counters appeared over several versions,
+            # so either artifact may predate any one of them.
+            base_mean_refined_set=float(
+                base_cases[name].grid.get("mean_refined_set", 0.0)),
+            new_mean_refined_set=float(
+                new_cases[name].grid.get("mean_refined_set", 0.0)),
+            base_prefilter_hit_rate=float(
+                base_cases[name].grid.get("prefilter_hit_rate", 0.0)),
+            new_prefilter_hit_rate=float(
+                new_cases[name].grid.get("prefilter_hit_rate", 0.0)),
+            base_mean_batch_size=base_cases[name].mean_batch_size,
+            new_mean_batch_size=new_cases[name].mean_batch_size,
         )
         for name in base_cases if name in new_cases
     ]

@@ -95,6 +95,17 @@ def _sparse_profile() -> BenchProfile:
         cases=_sweep_cases(SweepSettings.sparse(), sim_time=15.0))
 
 
+def _high_mobility_profile() -> BenchProfile:
+    return BenchProfile(
+        name="high_mobility",
+        description="Per-protocol cells of SweepSettings.high_mobility(): "
+                    "the paper's 50-node topology at 20-35 m/s with 0.1 s "
+                    "pauses; stresses the mobility-driven SoA kinematics "
+                    "(constant segment turnover).",
+        cases=_sweep_cases(SweepSettings.high_mobility(), sim_time=15.0,
+                           speed=35.0))
+
+
 def _shadowing_profile() -> BenchProfile:
     return BenchProfile(
         name="shadowing",
@@ -132,6 +143,7 @@ _PROFILE_FACTORIES = {
     "sparse": _sparse_profile,
     "scale": _scale_profile,
     "shadowing": _shadowing_profile,
+    "high_mobility": _high_mobility_profile,
 }
 
 #: Public, stable listing of the available profile names.

@@ -84,6 +84,11 @@ def cmd_compare(argv: List[str]) -> int:
                         help="minimum required candidate/baseline total "
                              "events/sec ratio (e.g. 1.3 = 30%% faster; "
                              "default: no floor)")
+    parser.add_argument("--refined-threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="warn (never fail) when a case's mean refined "
+                             "set grows by more than this percent "
+                             "(default: 10)")
     args = parser.parse_args(argv)
     try:
         report = compare_reports(BenchReport.load(args.baseline),
@@ -92,7 +97,8 @@ def cmd_compare(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.format(threshold_pct=args.threshold,
-                        min_speedup=args.min_speedup))
+                        min_speedup=args.min_speedup,
+                        refined_threshold_pct=args.refined_threshold))
     if (report.workload_changed or report.regressed(args.threshold)
             or (args.min_speedup is not None
                 and not report.meets_speedup(args.min_speedup))):
@@ -132,6 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="RATIO",
                         help="with --compare-against: minimum required "
                              "candidate/reference total events/sec ratio")
+    parser.add_argument("--refined-threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="with --compare-against: warn (never fail) "
+                             "when a case's mean refined set grows by more "
+                             "than this percent (default: 10)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -163,8 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             except (OSError, ValueError, KeyError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            print(comparison.format(threshold_pct=args.threshold,
-                                    min_speedup=args.min_speedup))
+            print(comparison.format(
+                threshold_pct=args.threshold,
+                min_speedup=args.min_speedup,
+                refined_threshold_pct=args.refined_threshold))
             if (comparison.workload_changed
                     or comparison.regressed(args.threshold)
                     or (args.min_speedup is not None

@@ -130,6 +130,24 @@ class SweepSettings:
                    replications=2, config_overrides=config)
 
     @classmethod
+    def high_mobility(cls, **overrides) -> "SweepSettings":
+        """The paper's topology at aggressive speeds with near-zero pauses.
+
+        Random-waypoint legs run at 20–35 m/s with a 0.1 s pause, so
+        trajectory segments turn over an order of magnitude faster than
+        under the paper's settings.  This is the stress workload for the
+        mobility-driven SoA kinematics in
+        :class:`~repro.net.channel.WirelessChannel`: segment pushes and
+        expiry refreshes happen constantly instead of being amortised
+        away, and route breakage keeps the routing layers busy.
+        """
+        config = dict(n_nodes=50, field_size=(1000.0, 1000.0),
+                      sim_time=50.0, min_speed=20.0, pause_time=0.1)
+        config.update(overrides)
+        return cls(protocols=PAPER_PROTOCOLS, speeds=(25.0, 35.0),
+                   replications=2, config_overrides=config)
+
+    @classmethod
     def shadowing(cls, **overrides) -> "SweepSettings":
         """A smoke-sized grid under log-normal shadowing propagation.
 
@@ -246,6 +264,7 @@ SWEEP_PROFILES = {
     "sparse": SweepSettings.sparse,
     "multiflow": SweepSettings.multiflow,
     "shadowing": SweepSettings.shadowing,
+    "high_mobility": SweepSettings.high_mobility,
 }
 
 

@@ -1,10 +1,20 @@
-"""Mobility model interface and the trivial static model."""
+"""Mobility model interface and the trivial static model.
+
+Segment-providing models (``provides_segments``) additionally expose their
+motion as :class:`Waypoint` segments through :meth:`MobilityModel.segment_at`
+and push segment changes into the channel's structure-of-arrays kinematics
+via the :meth:`MobilityModel.bind_kinematics` hook.  That lets the channel
+hold *exact* closed-form positions (origin + velocity + segment span) that
+never go stale, instead of re-snapshotting positions under a speed-bounded
+staleness horizon.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,6 +46,19 @@ class Waypoint:
 class MobilityModel(ABC):
     """Position of one node as a function of simulation time."""
 
+    #: True when the model can describe its motion as :class:`Waypoint`
+    #: segments (:meth:`segment_at` implemented, segment changes pushed
+    #: through :meth:`bind_kinematics`).  The channel only enters exact
+    #: SoA-kinematics mode when *every* registered node's model provides
+    #: segments; third-party models keep the stale-snapshot fallback.
+    provides_segments: bool = False
+
+    #: Channel push hook + slot, set by :meth:`bind_kinematics`.
+    _kin_push: Optional[Callable[[int, "Waypoint"], None]] = None
+    _kin_index: int = -1
+    #: Last segment index pushed (so a push fires once per segment change).
+    _kin_pushed_index: int = -1
+
     @abstractmethod
     def position(self, time: float) -> Tuple[float, float]:
         """The node's ``(x, y)`` position at ``time`` seconds."""
@@ -44,15 +67,46 @@ class MobilityModel(ABC):
         """Instantaneous speed (m/s) at ``time``; 0 unless overridden."""
         return 0.0
 
+    def segment_at(self, time: float) -> Waypoint:
+        """The :class:`Waypoint` segment covering ``time``.
+
+        Only meaningful when :attr:`provides_segments` is true; the base
+        implementation refuses so the channel can never silently treat a
+        stale-snapshot model as exact.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide trajectory segments")
+
+    def bind_kinematics(self, push: Callable[[int, "Waypoint"], None],
+                        index: int) -> None:
+        """Register the channel's segment-push hook for this node.
+
+        ``push(index, segment)`` is called (best effort) whenever a
+        position query lands in a different segment than the last one
+        pushed.  Freshness does not *depend* on pushes — the channel also
+        refreshes entries whose segment span has expired — they just keep
+        the SoA arrays current without polling.
+        """
+        self._kin_push = push
+        self._kin_index = index
+        self._kin_pushed_index = -1
+
 
 class StaticMobility(MobilityModel):
     """A node that never moves."""
+
+    provides_segments = True
 
     def __init__(self, x: float, y: float):
         self._pos = (float(x), float(y))
 
     def position(self, time: float) -> Tuple[float, float]:
         return self._pos
+
+    def segment_at(self, time: float) -> Waypoint:
+        # One segment covers all of time; the zero-velocity interpolation
+        # (frac = time/inf = 0) reproduces the fixed position exactly.
+        return Waypoint(0.0, math.inf, self._pos, self._pos)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"StaticMobility{self._pos}"

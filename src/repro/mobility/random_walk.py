@@ -36,6 +36,8 @@ class RandomWalk(MobilityModel):
 
     _EXTEND_CHUNK = 200.0
 
+    provides_segments = True
+
     def __init__(self, rng: np.random.Generator,
                  field_size: Tuple[float, float] = (1000.0, 1000.0),
                  max_speed: float = 10.0, min_speed: float = 0.1,
@@ -105,4 +107,20 @@ class RandomWalk(MobilityModel):
             time = 0.0
         if time >= self._end_time:
             self._extend_to(time + self._EXTEND_CHUNK)
-        return self._segments[self._segment_index(time)].position(time)
+        index = self._segment_index(time)
+        seg = self._segments[index]
+        if self._kin_push is not None and index != self._kin_pushed_index:
+            # Segment change: push it into the channel's SoA kinematics.
+            self._kin_pushed_index = index
+            self._kin_push(self._kin_index, seg)
+        return seg.position(time)
+
+    def segment_at(self, time: float) -> Waypoint:
+        """The leg segment covering ``time`` (extends the trajectory)."""
+        if time < 0:
+            time = 0.0
+        if time >= self._end_time:
+            self._extend_to(time + self._EXTEND_CHUNK)
+        index = self._segment_index(time)
+        self._kin_pushed_index = index
+        return self._segments[index]

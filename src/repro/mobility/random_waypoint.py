@@ -48,6 +48,8 @@ class RandomWaypoint(MobilityModel):
     #: How much trajectory (seconds) to generate per extension step.
     _EXTEND_CHUNK = 200.0
 
+    provides_segments = True
+
     def __init__(
         self,
         rng: np.random.Generator,
@@ -159,6 +161,10 @@ class RandomWaypoint(MobilityModel):
                 index = 0
             self._cached_index = index
         seg = self._segments[index]
+        if self._kin_push is not None and index != self._kin_pushed_index:
+            # Segment change: push it into the channel's SoA kinematics.
+            self._kin_pushed_index = index
+            self._kin_push(self._kin_index, seg)
         start_time = seg.start_time
         end_time = seg.end_time
         start_pos = seg.start_pos
@@ -184,6 +190,20 @@ class RandomWaypoint(MobilityModel):
         dist = float(np.hypot(seg.end_pos[0] - seg.start_pos[0],
                               seg.end_pos[1] - seg.start_pos[1]))
         return dist / duration
+
+    def segment_at(self, time: float) -> Waypoint:
+        """The waypoint segment covering ``time`` (extends the trajectory).
+
+        Used by the channel to (re)load a node's SoA kinematics entry
+        directly, so the returned index counts as pushed.
+        """
+        if time < 0:
+            time = 0.0
+        if time >= self._trajectory_end:
+            self._extend_to(time + self._EXTEND_CHUNK)
+        index = self._segment_index(time)
+        self._kin_pushed_index = index
+        return self._segments[index]
 
     def segments_until(self, time: float) -> List[Waypoint]:
         """All waypoint segments covering ``[0, time]`` (for inspection)."""

@@ -22,39 +22,67 @@ result — is bit-for-bit identical to the historical full scan.
    construction.  On fields the grid cannot partition (the 3×3 block
    would cover the whole field anyway) the index collapses to a single
    covering cell that never goes stale instead of pretending to filter.
-2. *Vectorized distance prefilter.*  Per-interface position arrays are
-   snapshotted on their own (tighter) slack horizon; one numpy
-   squared-distance pass over the candidate block drops every interface
-   whose stale distance exceeds ``detection range + position slack`` — no
-   such interface can currently be within detection range, so the exact
-   per-candidate evaluation that follows sees the same survivors the full
-   scalar scan would have accepted.
+2. *Distance prefilter.*  When every registered node's mobility model
+   provides trajectory segments (``provides_segments``), the channel
+   holds exact *SoA kinematics*: per-interface segment entries (span,
+   endpoints, velocity) pushed by the mobility layer at segment changes
+   and refreshed on expiry, so closed-form positions at the current time
+   are always exact and the prefilter radius is the detection range plus
+   only a float-rounding margin.  Otherwise (any third-party model) the
+   channel falls back to position *snapshots* taken under a speed-bounded
+   slack horizon, and the prefilter radius widens to ``detection range +
+   position slack``.  Either way the squared-distance pass over the
+   candidate block is conservative: nothing the exact per-candidate
+   evaluation would accept can be dropped.
 
 Exact positions and distances for the surviving candidates are still
 evaluated with scalar ``math`` at the current time (numpy's ``hypot``
 differs from CPython's by ulps, so the exact stage must not be
 vectorized), candidates are visited in registration order, and the
 per-candidate RNG draw order of probabilistic propagation models is
-preserved.  Reception decisions and propagation delays for the survivors
-go through the model's ``in_range_many`` / ``delay_many`` batch entry
-points when the model provides them (see
+preserved.  In kinematics mode the exact per-candidate interpolation
+reproduces ``Waypoint.position``'s float-op order term for term, so the
+distances are bit-identical to querying the mobility model directly.
+Reception decisions and propagation delays for the survivors go through
+the model's ``in_range_many`` / ``delay_many`` batch entry points when
+the model provides them (see
 :class:`~repro.net.propagation.PropagationModel`); models without
-``in_range_many`` fall back to the scalar per-candidate loop.
+``in_range_many`` fall back to the scalar per-candidate loop.  The
+per-receiver receptions are scheduled through
+:meth:`~repro.sim.engine.Simulator.schedule_fire_many` — one grouped
+heap entry per transmission, delivered in exactly the order the
+per-receiver loop would have produced.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.mobility.base import Waypoint
+from repro.net.packet import PacketKind
 from repro.net.propagation import PropagationModel, RangePropagation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.interface import WirelessInterface
     from repro.net.packet import Packet
     from repro.sim.engine import Simulator
+
+#: Kinematics entry for a node without a mobility model (fixed origin).
+_ORIGIN_SEGMENT = Waypoint(0.0, math.inf, (0.0, 0.0), (0.0, 0.0))
+
+#: MAC control kinds whose receptions share the sender's packet object
+#: instead of receiving a deep copy.  Safe because every consumer is
+#: read-only: the DCF handlers (``_handle_rts`` / ``_handle_cts`` /
+#: ``_handle_mac_ack``) only read ``mac_dst`` / ``uid`` / NAV headers,
+#: control frames are never forwarded or re-transmitted, and the sending
+#: MAC never mutates a control frame once it is on the air.  Data and
+#: routing kinds keep per-receiver copies — their delivered objects are
+#: mutated (TTL, per-hop MAC fields) by the routing layer.
+_SHARED_RX_KINDS = frozenset((PacketKind.RTS, PacketKind.CTS,
+                              PacketKind.MAC_ACK))
 
 
 class WirelessChannel:
@@ -108,6 +136,15 @@ class WirelessChannel:
     #: Both paths perform the same IEEE ops, so they keep the same set.
     _PREFILTER_VECTOR_MIN = 48
 
+    #: Crossover for kinematics mode.  The kin scalar loop reads cached
+    #: segment lists with no method calls, so despite the per-candidate
+    #: interpolation it stays competitive with the numpy round-trip up to
+    #: roughly the same block size as the snapshot loop.  The two paths
+    #: may disagree about prefilter survivors by at most margin-boundary
+    #: ulps; the exact stage re-evaluates survivors identically either
+    #: way.
+    _KIN_PREFILTER_VECTOR_MIN = 48
+
     def __init__(self, sim: "Simulator",
                  propagation: Optional[PropagationModel] = None,
                  max_node_speed: float = 50.0,
@@ -128,8 +165,12 @@ class WirelessChannel:
         self.transmissions: int = 0
         #: Count of spatial-index rebuilds (instrumentation).
         self.grid_rebuilds: int = 0
-        #: Count of prefilter position-snapshot refreshes.
+        #: Count of prefilter position-state (re)builds: snapshot
+        #: refreshes in fallback mode, full SoA builds in kinematics mode.
         self.pos_refreshes: int = 0
+        #: Count of SoA kinematics entry writes (mobility pushes, expiry
+        #: refreshes, and full-build loads).
+        self.snapshot_invalidations: int = 0
         #: Sum / maximum of candidate-set sizes over all transmissions
         #: (instrumentation; candidate sets include the sender itself).
         self.candidate_total: int = 0
@@ -159,6 +200,29 @@ class WirelessChannel:
         self._pos_time: Optional[float] = None
         self._pos_horizon: float = 0.0
         self._pos_slack: float = 0.0
+        # SoA kinematics state (see _ensure_kinematics).  The scalar lists
+        # carry the raw segment endpoints for the bit-exact fused
+        # interpolation loop; the numpy arrays carry the velocity form for
+        # the vectorized prefilter (ulp-level differences are absorbed by
+        # the prefilter margin).  _kin_mode: None = undecided, False =
+        # fallback snapshots, True = kinematics active.
+        self._kin_mode: Optional[bool] = None
+        self._kin_ready: bool = False
+        self._kin_st: List[float] = []
+        self._kin_et: List[float] = []
+        self._kin_sx: List[float] = []
+        self._kin_sy: List[float] = []
+        self._kin_ex: List[float] = []
+        self._kin_ey: List[float] = []
+        self._kin_t0: Optional[np.ndarray] = None
+        self._kin_ox: Optional[np.ndarray] = None
+        self._kin_oy: Optional[np.ndarray] = None
+        self._kin_vx: Optional[np.ndarray] = None
+        self._kin_vy: Optional[np.ndarray] = None
+        self._kin_et_arr: Optional[np.ndarray] = None
+        #: Earliest segment end among all entries; at or past this time at
+        #: least one entry has expired and must be refreshed.
+        self._kin_min_end: float = math.inf
         # Cached named RNG stream (stable instance per name).
         self._prop_rng = None
 
@@ -173,6 +237,19 @@ class WirelessChannel:
         self._interfaces.append(interface)
         self._grid_time = None  # invalidate the spatial index
         self._pos_time = None   # ... and the prefilter snapshot
+        self.reset_kinematics()  # ... and the SoA kinematics
+
+    def reset_kinematics(self) -> None:
+        """Invalidate the SoA kinematics state.
+
+        The next transmission re-decides the mode (kinematics vs fallback
+        snapshots) over the current interface population and, if
+        kinematics apply, rebuilds the arrays and re-binds every mobility
+        model's push hook.  Pushes arriving while the state is torn down
+        are ignored (the rebuild reloads every entry anyway).
+        """
+        self._kin_mode = None
+        self._kin_ready = False
 
     @property
     def interfaces(self) -> Iterable["WirelessInterface"]:
@@ -276,6 +353,107 @@ class WirelessChannel:
             self._pos_horizon = math.inf
         self.pos_refreshes += 1
 
+    # ------------------------------------------------------------------ #
+    # SoA kinematics (exact positions pushed from the mobility layer)
+    # ------------------------------------------------------------------ #
+    def _ensure_kinematics(self, now: float) -> bool:
+        """Decide the position-state mode and build the SoA arrays.
+
+        Returns True when every registered node's mobility model provides
+        trajectory segments; the channel then keeps one kinematics entry
+        per interface — segment span and endpoints (scalar lists, for the
+        bit-exact fused interpolation) plus origin/velocity arrays (for
+        the vectorized prefilter) — and never needs stale snapshots
+        again.  Any segment-less model keeps the fallback snapshot path
+        for everyone, so third-party mobility models lose no correctness,
+        only the tighter prefilter radius.
+        """
+        for interface in self._interfaces:
+            mobility = interface.node.mobility
+            if mobility is not None and not mobility.provides_segments:
+                self._kin_mode = False
+                return False
+        n = len(self._interfaces)
+        self._kin_st = [0.0] * n
+        self._kin_et = [0.0] * n
+        self._kin_sx = [0.0] * n
+        self._kin_sy = [0.0] * n
+        self._kin_ex = [0.0] * n
+        self._kin_ey = [0.0] * n
+        self._kin_t0 = np.zeros(n)
+        self._kin_ox = np.zeros(n)
+        self._kin_oy = np.zeros(n)
+        self._kin_vx = np.zeros(n)
+        self._kin_vy = np.zeros(n)
+        self._kin_et_arr = np.full(n, math.inf)
+        self._kin_min_end = math.inf
+        self._kin_mode = True
+        self._kin_ready = True
+        push = self.push_segment
+        for index, interface in enumerate(self._interfaces):
+            mobility = interface.node.mobility
+            if mobility is None:
+                self._write_kin_entry(index, _ORIGIN_SEGMENT)
+            else:
+                mobility.bind_kinematics(push, index)
+                self._write_kin_entry(index, mobility.segment_at(now))
+        self.pos_refreshes += 1
+        return True
+
+    def push_segment(self, index: int, segment: Waypoint) -> None:
+        """Mobility push hook: (re)load one interface's kinematics entry.
+
+        Called by bound mobility models whenever a position query lands in
+        a new segment.  Ignored while the kinematics state is torn down
+        (the rebuild reloads everything) and for segments that start in
+        the future (the entry it would replace still covers ``now``; the
+        expiry sweep picks the new segment up in time).
+        """
+        if not self._kin_ready or segment.start_time > self.sim.now:
+            return
+        self._write_kin_entry(index, segment)
+
+    def _write_kin_entry(self, index: int, segment: Waypoint) -> None:
+        st = segment.start_time
+        et = segment.end_time
+        sxp, syp = segment.start_pos
+        exp_, eyp = segment.end_pos
+        self._kin_st[index] = st
+        self._kin_et[index] = et
+        self._kin_sx[index] = sxp
+        self._kin_sy[index] = syp
+        self._kin_ex[index] = exp_
+        self._kin_ey[index] = eyp
+        self._kin_t0[index] = st
+        self._kin_ox[index] = sxp
+        self._kin_oy[index] = syp
+        duration = et - st
+        if 0.0 < duration < math.inf:
+            self._kin_vx[index] = (exp_ - sxp) / duration
+            self._kin_vy[index] = (eyp - syp) / duration
+        else:
+            self._kin_vx[index] = 0.0
+            self._kin_vy[index] = 0.0
+        self._kin_et_arr[index] = et
+        if et < self._kin_min_end:
+            self._kin_min_end = et
+        self.snapshot_invalidations += 1
+
+    def _refresh_expired(self, now: float) -> None:
+        """Reload every kinematics entry whose segment span has ended.
+
+        After this sweep every entry's segment strictly covers ``now``
+        (``start <= now < end``), so the fused interpolation needs no
+        end-clamp: the mobility models' trajectories tile time and
+        ``segment_at(now)`` always returns the covering segment.
+        """
+        et_arr = self._kin_et_arr
+        for index in np.flatnonzero(et_arr <= now).tolist():
+            mobility = self._interfaces[index].node.mobility
+            # mobility is never None here: origin entries never expire.
+            self._write_kin_entry(index, mobility.segment_at(now))
+        self._kin_min_end = float(et_arr.min())
+
     def _candidate_block(
             self, pos: Tuple[float, float]) -> Tuple[List[int], np.ndarray]:
         """Candidate interface indices around ``pos``, sorted ascending.
@@ -368,6 +546,15 @@ class WirelessChannel:
             "mean_refined_set": (self.refined_total / self.transmissions
                                  if self.transmissions else 0.0),
             "max_refined_set": self.refined_max,
+            # Fraction of grid-block candidates surviving the distance
+            # prefilter; lower is better (exact SoA kinematics shrink it
+            # versus the padded stale-snapshot radius).
+            "prefilter_hit_rate": (self.refined_total / self.candidate_total
+                                   if self.candidate_total else 0.0),
+            # Kinematics entry writes (pushes + expiry refreshes + builds);
+            # 0.0 in fallback-snapshot mode.
+            "snapshot_invalidations": float(self.snapshot_invalidations),
+            "kinematics_mode": float(bool(self._kin_ready)),
         }
 
     # ------------------------------------------------------------------ #
@@ -396,10 +583,32 @@ class WirelessChannel:
         # the _ensure_* methods would re-check the same condition.
         if self._grid_time is None or now > self._grid_horizon:
             self._ensure_grid(now)
-        if self._pos_time is None or now > self._pos_horizon:
+        kin = self._kin_ready
+        if kin:
+            if now >= self._kin_min_end:
+                self._refresh_expired(now)
+        elif self._kin_mode is None:
+            kin = self._ensure_kinematics(now)
+        if not kin and (self._pos_time is None or now > self._pos_horizon):
             self._ensure_positions(now)
         sender_index = self._interface_index[sender]
-        sx, sy = sender.node.position(now)
+        if kin:
+            # Sender position straight from its kinematics entry — same
+            # frac-form interpolation Waypoint.position performs, on the
+            # same segment (entries always cover now), so the result is
+            # bit-identical to node.position(now) without the method
+            # chain.
+            st = self._kin_st[sender_index]
+            sx = self._kin_sx[sender_index]
+            sy = self._kin_sy[sender_index]
+            if now > st:
+                et = self._kin_et[sender_index]
+                if et > st:
+                    frac = (now - st) / (et - st)
+                    sx = sx + frac * (self._kin_ex[sender_index] - sx)
+                    sy = sy + frac * (self._kin_ey[sender_index] - sy)
+        else:
+            sx, sy = sender.node.position(now)
         propagation = self.propagation
         detect_limit = propagation.detection_range()
 
@@ -409,17 +618,22 @@ class WirelessChannel:
         if n_candidates > self.candidate_max:
             self.candidate_max = n_candidates
 
-        # Stages 2+3: conservative squared-distance prefilter on the stale
-        # position snapshot, then exact evaluation of the survivors at the
-        # current positions (scalar math, ascending registration order).
-        # An interface within detect_limit now is within (detect_limit +
-        # _pos_slack) of its snapshot position, so nothing the exact
-        # evaluation would accept can be dropped by the prefilter; the
-        # margin absorbs float rounding of the squared form.  Small blocks
-        # run prefilter + exact gather as one fused Python loop, large
-        # ones do the prefilter in one numpy pass; both paths perform the
-        # identical IEEE arithmetic, so the surviving set is the same.
-        limit = detect_limit + self._pos_slack + self._PREFILTER_MARGIN_M
+        # Stages 2+3: conservative squared-distance prefilter, then exact
+        # evaluation of the survivors at the current positions (scalar
+        # math, ascending registration order).  In kinematics mode the
+        # positions are exact closed forms, so the prefilter radius is the
+        # detection range plus only the rounding margin (which also
+        # absorbs the ulp-level divergence of the vectorized velocity-form
+        # interpolation); in fallback mode an interface within
+        # detect_limit now is within (detect_limit + _pos_slack) of its
+        # snapshot position.  Either way nothing the exact evaluation
+        # would accept can be dropped.  Small blocks run prefilter + exact
+        # gather as one fused Python loop, large ones do the prefilter in
+        # one numpy pass.
+        if kin:
+            limit = detect_limit + self._PREFILTER_MARGIN_M
+        else:
+            limit = detect_limit + self._pos_slack + self._PREFILTER_MARGIN_M
         limit2 = limit * limit
         interfaces = self._interfaces
         hypot = math.hypot
@@ -428,45 +642,130 @@ class WirelessChannel:
         add_receiver = receivers.append
         add_distance = distances.append
         n_refined = 0
-        if n_candidates < self._PREFILTER_VECTOR_MIN:
-            pos_xl = self._pos_xl
-            pos_yl = self._pos_yl
-            for index in cand_list:
-                dx = pos_xl[index] - sx
-                dy = pos_yl[index] - sy
-                if dx * dx + dy * dy > limit2:
-                    continue
-                n_refined += 1
-                if index == sender_index:
-                    continue
-                receiver = interfaces[index]
-                rx, ry = receiver.node.position(now)
-                d = hypot(rx - sx, ry - sy)
-                if d > detect_limit:
-                    continue
-                add_receiver(receiver)
-                add_distance(d)
-        else:
-            if self._single_cell:
-                dx = self._pos_x - sx
-                dy = self._pos_y - sy
-                survivors = np.flatnonzero(dx * dx + dy * dy
-                                           <= limit2).tolist()
+        if n_candidates < (self._KIN_PREFILTER_VECTOR_MIN if kin
+                           else self._PREFILTER_VECTOR_MIN):
+            if kin:
+                # Fused prefilter + exact stage on the segment entries.
+                # The interpolation reproduces Waypoint.position's float-op
+                # order exactly (clamp at the segment start, frac form);
+                # entries always cover now (see _refresh_expired), so the
+                # end-clamp is unreachable.  dx/dy feed both the squared
+                # prefilter and math.hypot, eliminating every per-receiver
+                # node.position() call.
+                kin_st = self._kin_st
+                kin_et = self._kin_et
+                kin_sx = self._kin_sx
+                kin_sy = self._kin_sy
+                kin_ex = self._kin_ex
+                kin_ey = self._kin_ey
+                for index in cand_list:
+                    x = kin_sx[index]
+                    y = kin_sy[index]
+                    st = kin_st[index]
+                    if now > st:
+                        et = kin_et[index]
+                        if et > st:
+                            frac = (now - st) / (et - st)
+                            x = x + frac * (kin_ex[index] - x)
+                            y = y + frac * (kin_ey[index] - y)
+                    dx = x - sx
+                    dy = y - sy
+                    if dx * dx + dy * dy > limit2:
+                        continue
+                    n_refined += 1
+                    if index == sender_index:
+                        continue
+                    d = hypot(dx, dy)
+                    if d > detect_limit:
+                        continue
+                    add_receiver(interfaces[index])
+                    add_distance(d)
             else:
-                dx = self._pos_x[cand_arr] - sx
-                dy = self._pos_y[cand_arr] - sy
-                survivors = cand_arr[dx * dx + dy * dy <= limit2].tolist()
-            n_refined = len(survivors)
-            for index in survivors:
-                if index == sender_index:
-                    continue
-                receiver = interfaces[index]
-                rx, ry = receiver.node.position(now)
-                d = hypot(rx - sx, ry - sy)
-                if d > detect_limit:
-                    continue
-                add_receiver(receiver)
-                add_distance(d)
+                pos_xl = self._pos_xl
+                pos_yl = self._pos_yl
+                for index in cand_list:
+                    dx = pos_xl[index] - sx
+                    dy = pos_yl[index] - sy
+                    if dx * dx + dy * dy > limit2:
+                        continue
+                    n_refined += 1
+                    if index == sender_index:
+                        continue
+                    receiver = interfaces[index]
+                    rx, ry = receiver.node.position(now)
+                    d = hypot(rx - sx, ry - sy)
+                    if d > detect_limit:
+                        continue
+                    add_receiver(receiver)
+                    add_distance(d)
+        else:
+            if kin:
+                # Vectorized prefilter on the velocity form (origin +
+                # velocity * elapsed).  It differs from the frac form by
+                # ulps at most — absorbed by the prefilter margin — and
+                # the survivors are re-evaluated exactly below.  The
+                # interpolation runs over the whole population (cheap
+                # elementwise ops) so the candidate gather is one fancy
+                # index instead of five.
+                dt = now - self._kin_t0
+                px = self._kin_ox + self._kin_vx * dt
+                py = self._kin_oy + self._kin_vy * dt
+                if self._single_cell:
+                    dx = px - sx
+                    dy = py - sy
+                    survivors = np.flatnonzero(dx * dx + dy * dy
+                                               <= limit2).tolist()
+                else:
+                    dx = px[cand_arr] - sx
+                    dy = py[cand_arr] - sy
+                    survivors = cand_arr[dx * dx + dy * dy
+                                         <= limit2].tolist()
+                n_refined = len(survivors)
+                kin_st = self._kin_st
+                kin_et = self._kin_et
+                kin_sx = self._kin_sx
+                kin_sy = self._kin_sy
+                kin_ex = self._kin_ex
+                kin_ey = self._kin_ey
+                for index in survivors:
+                    if index == sender_index:
+                        continue
+                    x = kin_sx[index]
+                    y = kin_sy[index]
+                    st = kin_st[index]
+                    if now > st:
+                        et = kin_et[index]
+                        if et > st:
+                            frac = (now - st) / (et - st)
+                            x = x + frac * (kin_ex[index] - x)
+                            y = y + frac * (kin_ey[index] - y)
+                    d = hypot(x - sx, y - sy)
+                    if d > detect_limit:
+                        continue
+                    add_receiver(interfaces[index])
+                    add_distance(d)
+            else:
+                if self._single_cell:
+                    dx = self._pos_x - sx
+                    dy = self._pos_y - sy
+                    survivors = np.flatnonzero(dx * dx + dy * dy
+                                               <= limit2).tolist()
+                else:
+                    dx = self._pos_x[cand_arr] - sx
+                    dy = self._pos_y[cand_arr] - sy
+                    survivors = cand_arr[dx * dx + dy * dy
+                                         <= limit2].tolist()
+                n_refined = len(survivors)
+                for index in survivors:
+                    if index == sender_index:
+                        continue
+                    receiver = interfaces[index]
+                    rx, ry = receiver.node.position(now)
+                    d = hypot(rx - sx, ry - sy)
+                    if d > detect_limit:
+                        continue
+                    add_receiver(receiver)
+                    add_distance(d)
         self.refined_total += n_refined
         if n_refined > self.refined_max:
             self.refined_max = n_refined
@@ -477,8 +776,11 @@ class WirelessChannel:
         rng = self._prop_rng
         if rng is None:
             rng = self._prop_rng = self.sim.rng("propagation")
-        schedule_fire = self.sim.schedule_fire
         sender_id = sender.node.node_id
+        # Control frames are read-only at every receiver, so all of them
+        # can share the sender's object (see _SHARED_RX_KINDS); the copy
+        # bound below is then never called.
+        shared = packet.kind in _SHARED_RX_KINDS
         packet_copy = packet.copy
 
         # Stage 4: reception decision + delay, batched through the model's
@@ -487,7 +789,12 @@ class WirelessChannel:
         # (also the fallback for models without ``in_range_many``, e.g.
         # third-party registry components).  Both orders of RNG use are
         # identical: decisions happen in ascending registration order, one
-        # per in-detection-range receiver.
+        # per in-detection-range receiver.  All receptions of one
+        # transmission go to the heap as a single grouped entry
+        # (schedule_fire_many) that fans out in exactly the order the
+        # per-receiver schedule_fire loop would have produced.
+        items: List[Tuple[float, Callable[..., None], tuple]] = []
+        add_item = items.append
         in_range_many = getattr(propagation, "in_range_many", None)
         if (in_range_many is None
                 or n_receivers < self._VECTOR_MIN_RECEIVERS):
@@ -497,15 +804,18 @@ class WirelessChannel:
                 decodable = in_range(d, rng)
                 # Copy per decodable receiver so header mutations at one
                 # receiver never alias another receiver's view.
-                frame = packet_copy() if decodable else packet
-                schedule_fire(prop_delay(d), receiver.begin_reception,
-                              frame, duration, decodable, sender_id)
-            return
-        distance_arr = np.array(distances)
-        decodable_flags = in_range_many(distance_arr, rng).tolist()
-        delays = propagation.delay_many(distance_arr).tolist()
-        for receiver, decodable, delay in zip(receivers, decodable_flags,
-                                              delays):
-            frame = packet_copy() if decodable else packet
-            schedule_fire(delay, receiver.begin_reception,
-                          frame, duration, decodable, sender_id)
+                frame = (packet_copy() if decodable and not shared
+                         else packet)
+                add_item((prop_delay(d), receiver.begin_reception,
+                          (frame, duration, decodable, sender_id)))
+        else:
+            distance_arr = np.array(distances)
+            decodable_flags = in_range_many(distance_arr, rng).tolist()
+            delays = propagation.delay_many(distance_arr).tolist()
+            for receiver, decodable, delay in zip(receivers,
+                                                  decodable_flags, delays):
+                frame = (packet_copy() if decodable and not shared
+                         else packet)
+                add_item((delay, receiver.begin_reception,
+                          (frame, duration, decodable, sender_id)))
+        self.sim.schedule_fire_many(items)

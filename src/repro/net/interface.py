@@ -26,9 +26,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
 
-@dataclasses.dataclass(slots=True)
+@dataclasses.dataclass(slots=True, eq=False)
 class Reception:
-    """One ongoing reception at an interface."""
+    """One ongoing reception at an interface.
+
+    ``eq=False``: receptions are identity objects — ``_finish_reception``
+    removes *this* reception from the in-flight list, so the list scan
+    must compare by identity (object ``==``), not by the generated
+    six-field tuple comparison.
+    """
 
     packet: "Packet"
     sender_id: int
@@ -57,6 +63,10 @@ class WirelessInterface:
         self.sim = sim
         self.node = node
         self.channel = channel
+        # Bound-method cache: transmit/begin_reception schedule one
+        # fire-and-forget completion each, hundreds of thousands of times
+        # per run; skip the sim.schedule_fire attribute chain.
+        self._schedule_fire = sim.schedule_fire
         channel.register(self)
 
         self.mac = None  # set by the MAC when it attaches
@@ -114,7 +124,7 @@ class WirelessInterface:
         self.channel.transmit(self, packet, duration)
         # Fire-and-forget: transmission/reception completions are never
         # cancelled, so they skip Event/EventHandle construction entirely.
-        self.sim.schedule_fire(duration, self._finish_transmission, packet)
+        self._schedule_fire(duration, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: "Packet") -> None:
         self._transmitting_until = -1.0
@@ -152,7 +162,7 @@ class WirelessInterface:
         receptions.append(reception)
         if not was_busy and self.mac is not None:
             self.mac.on_channel_busy()
-        self.sim.schedule_fire(duration, self._finish_reception, reception)
+        self._schedule_fire(duration, self._finish_reception, reception)
 
     def _finish_reception(self, reception: Reception) -> None:
         self._receptions.remove(reception)

@@ -238,13 +238,22 @@ class Packet:
         clone.prev_hop = self.prev_hop
         clone.hop_count = self.hop_count
         # Inlined _clone_header dispatch: copy() runs once per decodable
-        # receiver per transmission, and the common case (a header with a
-        # hand-written clone()) should not pay an extra function call.
+        # receiver per transmission, and neither common case (a plain dict
+        # header — MAC NAV/ACK bookkeeping — or a header with a
+        # hand-written clone()) should pay an extra function call.  The
+        # dict test leads: it is a single C type check, while the clone
+        # probe is a getattr that the dict case would always fail.
         headers = {}
         for name, header in self.headers.items():
-            header_clone = getattr(header, "clone", None)
-            headers[name] = (header_clone() if header_clone is not None
-                             else _clone_header(header))
+            if type(header) is dict:
+                headers[name] = {
+                    key: (value if type(value) in _ATOMIC_TYPES
+                          else _copy.deepcopy(value))
+                    for key, value in header.items()}
+            else:
+                header_clone = getattr(header, "clone", None)
+                headers[name] = (header_clone() if header_clone is not None
+                                 else _copy.deepcopy(header))
         clone.headers = headers
         return clone
 

@@ -29,6 +29,11 @@ import numpy as np
 #: Speed of light in m/s, used for propagation delay.
 SPEED_OF_LIGHT = 299_792_458.0
 
+#: 4π.  Exact product: multiplying π by 4 only shifts the exponent, so
+#: ``_FOUR_PI * d`` performs one correctly-rounded multiplication — the
+#: building block of TwoRayGround's multiplication-only power forms.
+_FOUR_PI = 4.0 * math.pi
+
 
 class PropagationModel(ABC):
     """Interface for propagation models.
@@ -138,6 +143,25 @@ class TwoRayGround(PropagationModel):
     receive threshold is calibrated from ``nominal_range_m`` so that the
     decode range matches the requested nominal range, which is how NS-2's
     default 250 m figure is produced.
+
+    Float-op form (the vectorization contract)
+    ------------------------------------------
+    Both power regimes are written as *multiplication-only* expressions
+    over hoisted constant numerators::
+
+        free space:  _fs_num / (x * x)      with x  = (4π) * d
+        two-ray:     _tr_num / (d2 * d2)    with d2 = d * d
+
+    Every operation is a single IEEE multiply or divide — no ``pow``, no
+    ``hypot``, no libm calls — and elementwise numpy arithmetic on float64
+    performs the same correctly-rounded hardware ops as the scalar
+    interpreter, so :meth:`in_range_many` is bit-for-bit identical to
+    looping :meth:`in_range` on every platform (locked in by
+    ``tests/test_two_ray_equivalence.py``).  The historical ``d ** 4``
+    form differed from ``(d*d) * (d*d)`` by one double rounding, so
+    adopting this form moved a handful of power values (and the
+    calibrated threshold) by ulps — the repro version was bumped with the
+    change, and the study test bounds the old-vs-new divergence.
     """
 
     def __init__(
@@ -158,26 +182,56 @@ class TwoRayGround(PropagationModel):
         #: Crossover distance between free-space and two-ray regimes.
         self.crossover_m = (4 * math.pi * antenna_height_m * antenna_height_m
                             / self.wavelength_m)
+        #: Hoisted constant numerators of the two power regimes (see the
+        #: class docstring for the exact float-op forms).
+        g = self.antenna_gain * self.antenna_gain
+        self._fs_num = (self.tx_power_w * g
+                        * (self.wavelength_m * self.wavelength_m))
+        h2 = self.antenna_height_m * self.antenna_height_m
+        self._tr_num = self.tx_power_w * g * (h2 * h2)
         #: Receive power threshold calibrated to the nominal range.
         self.rx_threshold_w = self.received_power(self.nominal_range_m)
 
     def received_power(self, distance: float) -> float:
-        """Received power in watts at ``distance`` metres."""
+        """Received power in watts at ``distance`` metres.
+
+        Multiplication-only form — each branch is the exact expression
+        :meth:`in_range_many` evaluates elementwise, which is what makes
+        the vectorized path bit-identical (class docstring).
+        """
         d = max(distance, 1e-3)
-        g = self.antenna_gain * self.antenna_gain
         if d < self.crossover_m:
-            return (self.tx_power_w * g * self.wavelength_m ** 2
-                    / ((4 * math.pi * d) ** 2))
-        h2 = self.antenna_height_m ** 2
-        return self.tx_power_w * g * h2 * h2 / (d ** 4)
+            x = _FOUR_PI * d
+            return self._fs_num / (x * x)
+        d2 = d * d
+        return self._tr_num / (d2 * d2)
 
     def in_range(self, distance: float, rng: Optional[np.random.Generator] = None) -> bool:
         return self.received_power(distance) >= self.rx_threshold_w
 
-    # NOTE: deliberately no ``in_range_many`` — received_power uses ``**``
-    # and numpy's pow differs from CPython's by ulps, so a vectorized
-    # variant would not be bit-identical.  The channel falls back to the
-    # scalar per-candidate loop for this model.
+    def in_range_many(self, distances: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Vectorized :meth:`in_range`, bit-identical to the scalar loop.
+
+        Every step is an elementwise IEEE multiply / divide / maximum /
+        compare on float64 — the same correctly-rounded hardware ops the
+        scalar ``received_power`` performs, in the same order per element
+        (``np.where`` evaluates both regimes but selects exactly the one
+        the scalar branch would take).  Draws nothing from ``rng``, like
+        the scalar method.
+        """
+        d = np.maximum(distances, 1e-3)
+        x = _FOUR_PI * d
+        d2 = d * d
+        power = np.where(d < self.crossover_m,
+                         self._fs_num / (x * x),
+                         self._tr_num / (d2 * d2))
+        return power >= self.rx_threshold_w
+
+    def delay_many(self, distances: np.ndarray) -> np.ndarray:
+        # max(d, 0.0) and the division are exact/correctly-rounded IEEE
+        # ops — bit-identical to looping the scalar delay().
+        return np.maximum(distances, 0.0) / SPEED_OF_LIGHT
 
     def nominal_range(self) -> float:
         return self.nominal_range_m

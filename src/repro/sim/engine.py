@@ -22,15 +22,27 @@ Design notes
   horizon instead of once per event, and an ``until`` bound never pops an
   entry it would have to push back.  ``horizon_batches`` /
   ``max_batch_size`` instrument the batch-size distribution.
-* Two kinds of heap entry coexist.  :meth:`schedule` / :meth:`schedule_at`
+* Three kinds of heap entry coexist.  :meth:`schedule` / :meth:`schedule_at`
   build ``(time, priority, sequence, Event)`` and return a cancellable
   :class:`EventHandle`.  :meth:`schedule_fire` — the fast path used by the
   PHY/channel reception pipeline, which never cancels — pushes a bare
   ``(time, priority, sequence, callback, args)`` 5-tuple: no
   :class:`Event`, no handle, no kwargs dict, which is most of the
-  allocation cost of a reception event.  Both entry kinds share the same
-  sequence counter, so the total order is identical to scheduling
-  everything through the slow path.
+  allocation cost of a reception event.  :meth:`schedule_fire_many` — the
+  batched variant the channel uses for the per-receiver reception fan-out
+  of one transmission — reserves one sequence number per member exactly as
+  the equivalent :meth:`schedule_fire` loop would, but pushes a single
+  6-tuple ``(time, priority, sequence, members, 0, 0)`` keyed by the
+  earliest member.  When that entry pops, the run loop drains the group's
+  members in ``(time, sequence)`` order, firing each one directly while it
+  is provably next in the global order (cheap comparison against
+  ``heap[0]``) and falling back to re-pushing the remainder as ordinary
+  5-tuples the moment anything else — another heap entry, an ``until``
+  bound, ``max_events``, or :meth:`stop` — must come first.  Because every
+  member carries the sequence number reserved at schedule time, the
+  delivery order is bit-for-bit identical to the per-receiver loop while
+  the common case costs one heap push + pop per *transmission* instead of
+  one per receiver.  All entry kinds share the same sequence counter.
 * Cancellation is lazy: cancelled events stay in the heap and are skipped
   when popped.  This keeps :meth:`Simulator.cancel` O(1), which matters
   because MAC ACK timeouts and TCP retransmission timers are cancelled far
@@ -47,7 +59,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -222,6 +234,52 @@ class Simulator:
         if len(heap) > self.peak_heap_size:
             self.peak_heap_size = len(heap)
 
+    def schedule_fire_many(
+        self,
+        entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+    ) -> None:
+        """Batched :meth:`schedule_fire`: one heap push for a whole fan-out.
+
+        ``entries`` is a sequence of ``(delay, callback, args)`` triples in
+        registration order — exactly the arguments an equivalent loop of
+        :meth:`schedule_fire` calls would have passed.  Each member is
+        assigned the same consecutive sequence numbers that loop would have
+        reserved, so the global delivery order is bit-for-bit identical;
+        only the heap traffic changes.  A multi-member group is pushed as a
+        single 6-tuple keyed by its earliest ``(time, sequence)`` member,
+        and the run loop fans the members out when it pops (see
+        :meth:`run`).  Empty input is a no-op; a single entry degrades to a
+        plain fire tuple.
+
+        The channel calls this once per transmission with one entry per
+        receiver, replacing ``n_receivers`` heap pushes (and later pops)
+        with one of each in the common case where no other event interleaves
+        the fan-out.
+        """
+        now = self.now
+        sequence = self._sequence
+        members = []
+        for delay, callback, args in entries:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            members.append((float(now + delay), sequence, callback, args))
+            sequence += 1
+        if not members:
+            return
+        self._sequence = sequence
+        heap = self._heap
+        if len(members) == 1:
+            time, seq, callback, args = members[0]
+            _heappush(heap, (time, 0, seq, callback, args))
+        else:
+            # (time, sequence) is unique per member, so tuple sort never
+            # compares the callables and yields exact global firing order.
+            members.sort()
+            first = members[0]
+            _heappush(heap, (first[0], 0, first[1], members, 0, 0))
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
+
     def schedule_at(
         self,
         time: float,
@@ -348,9 +406,78 @@ class Simulator:
                             continue
                         self.now = horizon
                         event.callback(*event.args, **event.kwargs)
-                    else:
+                    elif len(entry) == 5:
                         self.now = horizon
                         entry[3](*entry[4])
+                    else:
+                        # Grouped fan-out from schedule_fire_many.  Members
+                        # are (time, sequence, callback, args), pre-sorted
+                        # in exact global firing order among themselves.
+                        # Fire each directly while it is provably next in
+                        # the global order; hand the rest back to the heap
+                        # the moment anything else must come first.
+                        members = entry[3]
+                        n_members = len(members)
+                        m = 0
+                        while True:
+                            member = members[m]
+                            time_m = member[0]
+                            if time_m != horizon:
+                                # The member opens a new horizon batch.
+                                if batch:
+                                    processed += batch
+                                    batches += 1
+                                    if batch > max_batch:
+                                        max_batch = batch
+                                    batch = 0
+                                horizon = time_m
+                            self.now = time_m
+                            try:
+                                member[2](*member[3])
+                            except BaseException:
+                                # Keep the heap consistent on a raising
+                                # callback: the unfired members survive as
+                                # plain fire tuples, exactly as the scalar
+                                # loop would have left them.
+                                heap = self._heap
+                                for j in range(m + 1, n_members):
+                                    mj = members[j]
+                                    _heappush(heap, (mj[0], 0, mj[1],
+                                                     mj[2], mj[3]))
+                                raise
+                            batch += 1
+                            remaining -= 1
+                            m += 1
+                            heap = self._heap
+                            if m == n_members:
+                                break
+                            nxt = members[m]
+                            time_n = nxt[0]
+                            fire_direct = (remaining > 0
+                                           and not self._stopped
+                                           and time_n <= limit)
+                            if fire_direct and heap:
+                                top = heap[0]
+                                time_t = top[0]
+                                # The next member fires directly only when
+                                # its (time, priority=0, sequence) key
+                                # precedes the heap top's.
+                                if time_n > time_t or (
+                                        time_n == time_t
+                                        and not (top[1] > 0
+                                                 or nxt[1] < top[2])):
+                                    fire_direct = False
+                            if not fire_direct:
+                                for j in range(m, n_members):
+                                    mj = members[j]
+                                    _heappush(heap, (mj[0], 0, mj[1],
+                                                     mj[2], mj[3]))
+                                break
+                        heap = self._heap
+                        if (not heap or heap[0][0] != horizon
+                                or remaining <= 0 or self._stopped):
+                            break
+                        continue
                     batch += 1
                     remaining -= 1
                     # Re-read: a cancellation inside the callback may have

@@ -3,4 +3,4 @@
 #: Cached simulation results are keyed to this version (see
 #: :mod:`repro.exec.cache`): bump it in any PR that changes simulation
 #: behaviour so stale cache entries become misses.
-__version__ = "1.3.0"
+__version__ = "1.4.0"

@@ -44,7 +44,7 @@ def synthetic_report(profile: str, events_per_sec: float,
 
 def test_all_profiles_are_well_formed():
     assert set(BENCH_PROFILES) == {"tiny", "smoke", "dense", "sparse",
-                                   "scale", "shadowing"}
+                                   "scale", "shadowing", "high_mobility"}
     for name in BENCH_PROFILES:
         profile = bench_profile(name)
         assert profile.name == name

@@ -67,6 +67,15 @@ GOLDEN_SWEEPS = {
         SweepSettings.shadowing,
         "5623f9d6e98ff22abb07d99b0b4efd619c7521ca33ace0ce61655ee122e57f1f",
     ),
+    # Recorded on the PR-8 kernel (mobility-driven SoA kinematics), which
+    # the six digests above prove is behaviourally identical to the seed
+    # kernel; this one additionally pins the fast-segment-turnover
+    # workload (20-35 m/s, 0.1 s pauses) where the kinematics expiry /
+    # push machinery does constant work.
+    "high_mobility": (
+        lambda: SweepSettings.high_mobility().shrink(),
+        "9e196af8221c07a1a60ede1997a2f99466cff357ffab87ffea6f19609e658d4c",
+    ),
 }
 
 

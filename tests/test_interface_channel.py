@@ -7,7 +7,9 @@ the full DCF machinery on top.
 
 from __future__ import annotations
 
-from repro.mobility.base import StaticMobility
+import math
+
+from repro.mobility.base import MobilityModel, StaticMobility, Waypoint
 from repro.net.channel import WirelessChannel
 from repro.net.interface import WirelessInterface
 from repro.net.node import Node
@@ -457,3 +459,202 @@ def test_registry_scalar_only_model_runs_end_to_end():
             == reference.channel.transmissions
     finally:
         PROPAGATION._components.pop(name, None)
+
+
+# ---------------------------------------------------------------------- #
+# SoA kinematics: mobility pushes, expiry refresh, rebuild invalidation
+# ---------------------------------------------------------------------- #
+class ScriptedSegments(MobilityModel):
+    """Segment-providing mobility driven by an explicit waypoint list.
+
+    The segments must tile time (each starts where the previous ends);
+    the last one is extended to infinity.  Mirrors RandomWaypoint's push
+    behaviour — position() pushes on segment change, segment_at() marks
+    the returned segment as pushed — with boundaries the test controls.
+    """
+
+    provides_segments = True
+
+    def __init__(self, segments):
+        self._segments = list(segments)
+        last = self._segments[-1]
+        self._segments[-1] = Waypoint(last.start_time, math.inf,
+                                      last.start_pos, last.end_pos)
+        self.push_calls = 0
+
+    def _index_at(self, time):
+        for i in reversed(range(len(self._segments))):
+            if self._segments[i].start_time <= time:
+                return i
+        return 0
+
+    def position(self, time):
+        index = self._index_at(time)
+        seg = self._segments[index]
+        if self._kin_push is not None and index != self._kin_pushed_index:
+            self._kin_pushed_index = index
+            self.push_calls += 1
+            self._kin_push(self._kin_index, seg)
+        return seg.position(time)
+
+    def segment_at(self, time):
+        index = self._index_at(time)
+        self._kin_pushed_index = index
+        return self._segments[index]
+
+
+def _kin_build(sim, mobilities, range_m=250.0):
+    channel = WirelessChannel(sim, RangePropagation(range_m),
+                              max_node_speed=50.0)
+    nodes, macs = [], []
+    for node_id, mobility in enumerate(mobilities):
+        node = Node(sim, node_id, mobility=mobility)
+        node.interface = WirelessInterface(sim, node, channel)
+        mac = RecordingMac()
+        node.interface.attach_mac(mac)
+        nodes.append(node)
+        macs.append(mac)
+    return channel, nodes, macs
+
+
+class NonPushingSegments(ScriptedSegments):
+    """Segment provider that never pushes (pushes are best-effort, per
+    the bind_kinematics contract): freshness must come from the
+    channel's own expiry sweep alone."""
+
+    def position(self, time):
+        return self._segments[self._index_at(time)].position(time)
+
+
+def test_kinematics_refresh_crosses_segment_boundary_without_pushes():
+    """An entry whose segment span ended must be refreshed from the
+    mobility model even when the model never pushes segment changes:
+    the walker leaves decode range at t=10 and later frames miss it."""
+    sim = Simulator(seed=1)
+    walker = NonPushingSegments([
+        Waypoint(0.0, 10.0, (200.0, 0.0), (200.0, 0.0)),   # parked, in range
+        Waypoint(10.0, 20.0, (200.0, 0.0), (700.0, 0.0)),  # walks away
+        Waypoint(20.0, math.inf, (700.0, 0.0), (700.0, 0.0)),
+    ])
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), walker])
+    sim.schedule(1.0, lambda: nodes[0].interface.transmit(frame(), 0.01))
+    sim.schedule(19.0, lambda: nodes[0].interface.transmit(frame(), 0.01))
+    sim.run()
+    assert channel.grid_stats()["kinematics_mode"] == 1.0
+    # t=1: walker parked at 200 m -> delivered.  t=19: the walker is at
+    # 650 m; its t<10 entry expired, no push ever fired, so only the
+    # expiry sweep can have reloaded the covering segment.
+    assert len(macs[1].received) == 1
+    assert walker.push_calls == 0  # position() override never pushes
+
+
+def test_kinematics_mobility_push_updates_entry_mid_segment():
+    """A position() query landing in a new segment pushes it into the
+    channel immediately — the next transmission sees the new trajectory
+    without waiting for the old entry's span to expire."""
+    sim = Simulator(seed=1)
+    # One long 0..100 s segment parked in range, so the initial entry
+    # never expires on its own; then a jump segment starting at t=5
+    # replaces it (models a re-planned trajectory).
+    walker = ScriptedSegments([
+        Waypoint(0.0, 5.0, (200.0, 0.0), (200.0, 0.0)),
+        Waypoint(5.0, 100.0, (1000.0, 0.0), (1000.0, 0.0)),
+    ])
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), walker])
+    sim.schedule(1.0, lambda: nodes[0].interface.transmit(frame(), 0.01))
+    before = []
+    sim.schedule(6.0, lambda: before.append(
+        channel.grid_stats()["snapshot_invalidations"]))
+    # The walker's own MAC queries its position (e.g. a routing beacon
+    # would) — this is the push trigger, not a transmission.
+    sim.schedule(6.0, lambda: walker.position(6.0))
+    after = []
+    sim.schedule(6.0, lambda: after.append(
+        channel.grid_stats()["snapshot_invalidations"]))
+    sim.schedule(7.0, lambda: nodes[0].interface.transmit(frame(), 0.01))
+    sim.run()
+    assert walker.push_calls >= 1
+    assert after[0] == before[0] + 1  # the push wrote exactly one entry
+    assert len(macs[1].received) == 1  # t=1 delivered, t=7 out of range
+
+
+def test_push_segment_ignored_while_torn_down_and_for_future_segments():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), StaticMobility(100.0, 0.0)])
+    # Before any transmission the kinematics state is torn down: a stray
+    # push must be a no-op, not an IndexError on empty arrays.
+    channel.push_segment(1, Waypoint(0.0, 1.0, (5.0, 5.0), (5.0, 5.0)))
+    nodes[0].interface.transmit(frame(), 0.01)
+    sim.run()
+    invalidations = channel.snapshot_invalidations
+    # A segment starting in the future must not clobber the entry that
+    # covers `now` (the expiry sweep picks it up in time instead).
+    channel.push_segment(
+        1, Waypoint(sim.now + 10.0, math.inf, (9e9, 9e9), (9e9, 9e9)))
+    assert channel.snapshot_invalidations == invalidations
+    assert channel.neighbors_of(nodes[0].interface) \
+        == [nodes[1].interface]
+
+
+def test_register_mid_run_invalidates_and_rebuilds_kinematics():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), StaticMobility(100.0, 0.0)])
+    nodes[0].interface.transmit(frame(0, 1), 0.01)
+    sim.run()
+    assert channel.grid_stats()["kinematics_mode"] == 1.0
+    # Registering a new interface tears the SoA state down...
+    node = Node(sim, 2, mobility=StaticMobility(150.0, 0.0))
+    node.interface = WirelessInterface(sim, node, channel)
+    mac = RecordingMac()
+    node.interface.attach_mac(mac)
+    assert channel.grid_stats()["kinematics_mode"] == 0.0
+    # ...and the next transmission rebuilds it over all three nodes: a
+    # broadcast reaches the late joiner.
+    packet = frame(0, 1)
+    packet.mac_dst = -1
+    nodes[0].interface.transmit(packet, 0.01)
+    sim.run()
+    assert channel.grid_stats()["kinematics_mode"] == 1.0
+    assert len(mac.received) == 1
+
+
+def test_segmentless_mobility_forces_fallback_for_everyone():
+    class OrbitingMobility(MobilityModel):
+        """Third-party model: positions only, no trajectory segments."""
+
+        def position(self, time):
+            return (200.0 + 10.0 * math.sin(time), 0.0)
+
+    sim = Simulator(seed=1)
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), OrbitingMobility()])
+    nodes[0].interface.transmit(frame(), 0.01)
+    sim.run()
+    stats = channel.grid_stats()
+    # One segment-less model keeps the whole channel on the snapshot
+    # fallback; correctness is unchanged — the orbiter still decodes.
+    assert stats["kinematics_mode"] == 0.0
+    assert stats["snapshot_invalidations"] == 0.0
+    assert len(macs[1].received) == 1
+
+
+def test_grid_stats_prefilter_counters_in_kinematics_mode():
+    sim = Simulator(seed=1)
+    channel, nodes, macs = _kin_build(
+        sim, [StaticMobility(0.0, 0.0), StaticMobility(100.0, 0.0),
+              StaticMobility(200.0, 0.0), StaticMobility(2000.0, 0.0)])
+    nodes[0].interface.transmit(frame(), 0.01)
+    sim.run()
+    stats = channel.grid_stats()
+    assert stats["kinematics_mode"] == 1.0
+    # Build wrote one entry per interface.
+    assert stats["snapshot_invalidations"] == 4.0
+    # Three candidates in the sender's block, all three survive the
+    # exact-distance prefilter (they really are within reach).
+    assert stats["mean_candidate_set"] == 3.0
+    assert stats["mean_refined_set"] == 3.0
+    assert stats["prefilter_hit_rate"] == 1.0

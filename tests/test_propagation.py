@@ -8,6 +8,7 @@ import pytest
 from repro.net.propagation import (
     SPEED_OF_LIGHT,
     LogDistanceShadowing,
+    PropagationModel,
     RangePropagation,
     TwoRayGround,
 )
@@ -118,18 +119,30 @@ class TestVectorizedEntryPoints:
             assert float(delay) == model.delay(float(d))
 
     def test_base_delay_many_default_loops_scalar_delay(self):
-        # TwoRayGround defines no vector math; the inherited default must
-        # still agree bit-for-bit with the scalar method.
-        model = TwoRayGround(nominal_range_m=250.0)
+        # A model that defines no vector math inherits the element-wise
+        # default, which must agree bit-for-bit with the scalar method.
+        class _ScalarOnly(RangePropagation):
+            delay_many = PropagationModel.delay_many
+
+        model = _ScalarOnly(250.0)
         batched = model.delay_many(self.DISTANCES)
         for d, delay in zip(self.DISTANCES, batched):
             assert float(delay) == model.delay(float(d))
 
-    def test_two_ray_ground_has_no_in_range_many(self):
-        # Deliberate: its power law goes through ``**`` whose numpy
-        # counterpart differs by ulps, so the channel must use the
-        # scalar fallback for this model.
-        assert not hasattr(TwoRayGround(250.0), "in_range_many")
+    def test_two_ray_in_range_many_matches_scalar(self):
+        # The multiplication-only power form makes the vectorized path
+        # bit-identical to the scalar loop (the full adversarial study
+        # lives in tests/test_two_ray_equivalence.py).
+        model = TwoRayGround(nominal_range_m=250.0)
+        batched = model.in_range_many(self.DISTANCES)
+        scalar = [model.in_range(float(d)) for d in self.DISTANCES]
+        assert list(batched) == scalar
+
+    def test_two_ray_delay_many_is_bit_identical_to_scalar(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        batched = model.delay_many(self.DISTANCES)
+        for d, delay in zip(self.DISTANCES, batched):
+            assert float(delay) == model.delay(float(d))
 
     def test_shadowing_in_range_many_preserves_rng_draw_order(self):
         model = LogDistanceShadowing(nominal_range_m=250.0, sigma_db=8.0)

@@ -1,0 +1,148 @@
+"""Float-op-order equivalence study for the TwoRayGround vectorization.
+
+The model's ``received_power`` was restructured from ``pow``-based
+expressions (``λ ** 2``, ``(4πd) ** 2``, ``d ** 4``) to the
+multiplication-only forms documented in the class docstring, so that the
+vectorized :meth:`~repro.net.propagation.TwoRayGround.in_range_many` can
+use plain elementwise numpy arithmetic — the same correctly-rounded IEEE
+hardware ops the scalar interpreter performs — and stay bit-for-bit
+identical to the scalar loop *by construction*, not by libm accident.
+
+This module is the committed study behind that change:
+
+* ``test_vector_scalar_bitwise_identity`` proves the new scalar and
+  vector paths agree bit-for-bit on an adversarial distance grid
+  (ulp-neighbourhoods of every branch boundary and the calibrated
+  threshold, plus a broad random sweep).
+* ``test_old_form_divergence_is_bounded`` quantifies how far the
+  historical ``pow`` form drifts from the multiplication form: a few
+  ulps of relative error, never more.
+* ``test_decision_flips_confined_to_threshold_neighbourhood`` shows the
+  only observable behaviour change — reception decisions — can flip
+  solely within an ulp-scale window around the calibrated nominal range,
+  which is why the restructure shipped with a ``repro.version`` bump
+  (1.3.0 → 1.4.0) instead of silently changing pinned digests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.net.propagation import _FOUR_PI, TwoRayGround
+
+
+def _old_received_power(model: TwoRayGround, distance: float) -> float:
+    """The pre-restructure ``pow``-form power expression, verbatim."""
+    d = max(distance, 1e-3)
+    g = model.antenna_gain * model.antenna_gain
+    if d < model.crossover_m:
+        return (model.tx_power_w * g * model.wavelength_m ** 2
+                / ((4 * math.pi * d) ** 2))
+    h2 = model.antenna_height_m ** 2
+    return model.tx_power_w * g * h2 * h2 / (d ** 4)
+
+
+def _ulp_neighbourhood(value: float, steps: int = 8) -> list:
+    """``value`` and its ``steps`` nearest floats on either side."""
+    out = [value]
+    lo = hi = value
+    for _ in range(steps):
+        lo = np.nextafter(lo, -np.inf)
+        hi = np.nextafter(hi, np.inf)
+        out.append(float(lo))
+        out.append(float(hi))
+    return out
+
+
+def _adversarial_grid(model: TwoRayGround) -> np.ndarray:
+    """Distances engineered to stress every branch and rounding edge."""
+    points = []
+    # Branch boundaries: the distance clamp, the free-space/two-ray
+    # crossover, and the calibrated decode threshold.
+    for anchor in (1e-3, model.crossover_m, model.nominal_range_m):
+        points.extend(_ulp_neighbourhood(anchor))
+    # Below the clamp, zero, and negatives (the clamp must absorb them).
+    points.extend([0.0, 1e-6, 5e-4, -1.0])
+    # Broad coverage of both regimes.
+    points.extend(np.geomspace(1e-2, 1e4, 4001).tolist())
+    rng = np.random.default_rng(20260808)
+    points.extend(rng.uniform(0.5, 2000.0, 4000).tolist())
+    # Values that land within a float or two of the threshold power when
+    # pushed through the free-space / two-ray maps: scan a fine linear
+    # window around the nominal range.
+    window = np.linspace(model.nominal_range_m - 1e-6,
+                         model.nominal_range_m + 1e-6, 2001)
+    points.extend(window.tolist())
+    return np.array(points, dtype=np.float64)
+
+
+class TestVectorScalarIdentity:
+    MODELS = (
+        TwoRayGround(nominal_range_m=250.0),
+        TwoRayGround(nominal_range_m=100.0),
+        # Antenna low enough that the crossover sits below the nominal
+        # range (both regimes carry decodable distances).
+        TwoRayGround(nominal_range_m=550.0, antenna_height_m=1.0,
+                     frequency_hz=914e6),
+    )
+
+    def test_vector_scalar_bitwise_identity(self):
+        for model in self.MODELS:
+            grid = _adversarial_grid(model)
+            batched = model.in_range_many(grid)
+            scalar = np.array([model.in_range(float(d)) for d in grid])
+            assert batched.dtype == bool
+            assert np.array_equal(batched, scalar)
+
+    def test_vector_power_expression_bitwise_identity(self):
+        # The study's core claim, checked on the raw powers (stronger
+        # than the boolean decisions): elementwise numpy arithmetic
+        # reproduces the scalar multiplication-only form bit-for-bit.
+        for model in self.MODELS:
+            grid = _adversarial_grid(model)
+            d = np.maximum(grid, 1e-3)
+            x = _FOUR_PI * d
+            d2 = d * d
+            vector_power = np.where(d < model.crossover_m,
+                                    model._fs_num / (x * x),
+                                    model._tr_num / (d2 * d2))
+            scalar_power = np.array(
+                [model.received_power(float(v)) for v in grid])
+            assert np.array_equal(vector_power, scalar_power)
+
+    def test_delay_many_bitwise_identity(self):
+        model = self.MODELS[0]
+        grid = _adversarial_grid(model)
+        batched = model.delay_many(grid)
+        for d, delay in zip(grid, batched):
+            assert float(delay) == model.delay(float(d))
+
+
+class TestOldFormDivergence:
+    def test_old_form_divergence_is_bounded(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        grid = _adversarial_grid(model)
+        new = np.array([model.received_power(float(d)) for d in grid])
+        old = np.array([_old_received_power(model, float(d)) for d in grid])
+        # Each form performs at most four roundings on the same real
+        # expression; their results may differ, but only by ulps.
+        rel = np.abs(new - old) / np.abs(old)
+        assert float(rel.max()) < 1e-14
+
+    def test_decision_flips_confined_to_threshold_neighbourhood(self):
+        model = TwoRayGround(nominal_range_m=250.0)
+        old_threshold = _old_received_power(model, model.nominal_range_m)
+        grid = _adversarial_grid(model)
+        new_dec = model.in_range_many(grid)
+        old_dec = np.array([
+            _old_received_power(model, float(d)) >= old_threshold
+            for d in grid])
+        flips = grid[new_dec != old_dec]
+        # The two forms can disagree only where the power sits within a
+        # rounding of the threshold, i.e. an ulp-scale distance window
+        # around the calibrated range — never in the interior of either
+        # regime.
+        if flips.size:
+            assert float(np.abs(flips - model.nominal_range_m).max()) < 1e-6
