@@ -1,0 +1,45 @@
+"""Results-as-a-service: campaign manifests, artifact store, publication.
+
+The production story above a single sweep (ROADMAP "results as a
+service"): declare many sweeps in one JSON **manifest**
+(:class:`CampaignSpec`), run them resumably against a
+:class:`~repro.exec.cache.ResultCache` (:func:`run_campaign` — a rerun
+simulates only cache misses, so crash recovery is "run it again"), and
+publish the rendered deliverables into a content-addressed
+:class:`ArtifactStore` that the read-only front ends (``repro-campaign
+query``, ``repro-serve``) answer from with **zero** simulations.
+
+Quick usage::
+
+    from repro.campaign import ArtifactStore, CampaignSpec, run_campaign
+    from repro.exec import ResultCache
+
+    spec = CampaignSpec.load("campaign.json")
+    report = run_campaign(spec, cache=ResultCache("results/cache"),
+                          store=ArtifactStore("results/store"))
+"""
+
+from repro.campaign.manifest import CampaignEntry, CampaignSpec
+from repro.campaign.runner import (
+    CampaignInterrupted,
+    CampaignReport,
+    EntryRun,
+    EntryStatus,
+    campaign_status,
+    publish_campaign,
+    run_campaign,
+)
+from repro.campaign.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignEntry",
+    "CampaignInterrupted",
+    "CampaignReport",
+    "CampaignSpec",
+    "EntryRun",
+    "EntryStatus",
+    "campaign_status",
+    "publish_campaign",
+    "run_campaign",
+]

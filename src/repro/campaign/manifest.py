@@ -1,0 +1,221 @@
+"""Campaign manifests: declarative grids of sweeps, resumable via the cache.
+
+A *campaign* is the production unit of work above a single sweep: a named
+list of entries, each pairing a canned sweep profile with optional axis
+and config overrides.  The manifest is a small JSON document — written by
+hand or by tooling — that expands deterministically to
+:class:`~repro.experiments.sweep.SweepSettings` (and from there to
+:class:`~repro.scenario.config.ScenarioConfig` cells), so the campaign's
+identity lives entirely in the manifest + the cache's content addressing:
+
+* running the same manifest twice simulates nothing the second time;
+* a half-finished campaign resumes by simply running again — completed
+  cells are cache hits (:meth:`repro.exec.ResultCache.lookup`), only the
+  misses simulate.
+
+Example manifest::
+
+    {
+      "campaign": "paper-grid",
+      "entries": [
+        {"name": "baseline", "profile": "smoke"},
+        {"name": "dense-200", "profile": "dense",
+         "overrides": {"n_nodes": 200}, "replications": 3}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.exec import atomic_write_text
+from repro.experiments.sweep import SWEEP_PROFILES, SweepSettings, sweep_profile
+from repro.scenario.config import normalize_config_fields
+
+#: Campaign and entry names become file names (store indexes) and URL
+#: path segments (``repro-serve``), so they are restricted to a safe
+#: alphabet up front.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _check_name(kind: str, name: object) -> str:
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise ValueError(
+            f"{kind} name {name!r} is not a valid identifier (letters, "
+            f"digits, '.', '_', '-'; must start alphanumeric)")
+    return name
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignEntry:
+    """One sweep of a campaign: a profile plus optional overrides.
+
+    ``profile`` names a canned :data:`SWEEP_PROFILES` grid; ``overrides``
+    are extra :class:`~repro.scenario.config.ScenarioConfig` fields
+    merged over the profile's ``config_overrides``; the remaining fields
+    replace the profile's grid axes when given (``None`` keeps the
+    profile's value).  Expansion is a pure function of these fields, so
+    every invocation of a manifest agrees on the exact cell set.
+    """
+
+    name: str
+    profile: str
+    overrides: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    protocols: Optional[Tuple[str, ...]] = None
+    speeds: Optional[Tuple[float, ...]] = None
+    replications: Optional[int] = None
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_name("entry", self.name)
+        if self.profile not in SWEEP_PROFILES:
+            known = ", ".join(sorted(SWEEP_PROFILES))
+            raise ValueError(f"entry {self.name!r}: unknown sweep profile "
+                             f"{self.profile!r}; expected one of: {known}")
+        if self.replications is not None and self.replications < 1:
+            raise ValueError(f"entry {self.name!r}: replications must be "
+                             f"at least 1")
+
+    # ------------------------------------------------------------------ #
+    def settings(self) -> SweepSettings:
+        """Expand this entry to its concrete sweep grid."""
+        settings = sweep_profile(self.profile)
+        config = dict(settings.config_overrides)
+        config.update(normalize_config_fields(self.overrides))
+        return dataclasses.replace(
+            settings,
+            protocols=(settings.protocols if self.protocols is None
+                       else tuple(self.protocols)),
+            speeds=(settings.speeds if self.speeds is None
+                    else tuple(float(speed) for speed in self.speeds)),
+            replications=(settings.replications if self.replications is None
+                          else int(self.replications)),
+            base_seed=(settings.base_seed if self.base_seed is None
+                       else int(self.base_seed)),
+            config_overrides=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary; ``None`` axes mean "profile default"."""
+        return {
+            "name": self.name,
+            "profile": self.profile,
+            "overrides": normalize_config_fields(self.overrides),
+            "protocols": (None if self.protocols is None
+                          else list(self.protocols)),
+            "speeds": (None if self.speeds is None
+                       else [float(speed) for speed in self.speeds]),
+            "replications": self.replications,
+            "base_seed": self.base_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignEntry":
+        """Rebuild an entry from :meth:`to_dict` output or a hand-written
+        manifest (missing keys fall back to the profile defaults)."""
+        known = {"name", "profile", "overrides", "protocols", "speeds",
+                 "replications", "base_seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"entry {data.get('name')!r}: unknown manifest "
+                             f"keys {unknown}; expected {sorted(known)}")
+        protocols = data.get("protocols")
+        speeds = data.get("speeds")
+        replications = data.get("replications")
+        base_seed = data.get("base_seed")
+        return cls(
+            name=str(data.get("name", "")),
+            profile=str(data.get("profile", "")),
+            overrides=normalize_config_fields(data.get("overrides") or {}),
+            protocols=None if protocols is None else tuple(protocols),
+            speeds=(None if speeds is None
+                    else tuple(float(speed) for speed in speeds)),
+            replications=None if replications is None else int(replications),
+            base_seed=None if base_seed is None else int(base_seed),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of campaign entries."""
+
+    name: str
+    entries: Tuple[CampaignEntry, ...]
+
+    def __post_init__(self) -> None:
+        _check_name("campaign", self.name)
+        if not self.entries:
+            raise ValueError(f"campaign {self.name!r} has no entries")
+        seen: Dict[str, int] = {}
+        for entry in self.entries:
+            if entry.name in seen:
+                raise ValueError(f"campaign {self.name!r}: duplicate entry "
+                                 f"name {entry.name!r}")
+            seen[entry.name] = 1
+
+    # ------------------------------------------------------------------ #
+    def expand(self) -> List[Tuple[CampaignEntry, SweepSettings]]:
+        """Every entry with its concrete sweep grid, in manifest order."""
+        return [(entry, entry.settings()) for entry in self.entries]
+
+    def entry(self, name: str) -> CampaignEntry:
+        """Look up one entry by name (with a did-you-mean error)."""
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        known = ", ".join(entry.name for entry in self.entries)
+        raise KeyError(f"campaign {self.name!r} has no entry {name!r}; "
+                       f"entries: {known}")
+
+    def total_cells(self) -> int:
+        """Number of simulation cells across every entry's grid."""
+        return sum(len(settings.grid()) for _, settings in self.expand())
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary (the manifest document itself)."""
+        return {
+            "campaign": self.name,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output or a manifest."""
+        unknown = sorted(set(data) - {"campaign", "entries"})
+        if unknown:
+            raise ValueError(f"unknown manifest keys {unknown}; expected "
+                             f"['campaign', 'entries']")
+        entries = data.get("entries")
+        if not isinstance(entries, (list, tuple)):
+            raise ValueError("manifest 'entries' must be a list")
+        return cls(
+            name=str(data.get("campaign", "")),
+            entries=tuple(CampaignEntry.from_dict(entry)
+                          for entry in entries),
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CampaignSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the manifest to ``path`` as JSON, atomically."""
+        atomic_write_text(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "CampaignSpec":
+        """Load a manifest file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,6 +1,6 @@
 """Command-line interfaces for the experiment-execution subsystem.
 
-Three console entry points (also runnable without installation as
+Console entry points (also runnable without installation as
 ``python -m repro.cli <tool> …`` with ``PYTHONPATH=src``):
 
 * ``repro-cache`` (:mod:`repro.cli.cache`) — inspect and maintain
@@ -14,6 +14,12 @@ Three console entry points (also runnable without installation as
 * ``repro-bench`` (:mod:`repro.cli.bench`) — run kernel benchmark
   profiles and write ``BENCH_<profile>.json`` perf-tracking artifacts
   (wall-time, events/sec, heap and spatial-grid health).
+* ``repro-campaign`` (:mod:`repro.cli.campaign`) — run, resume, and
+  query multi-sweep campaigns declared in a JSON manifest; all
+  durability lives in the result cache + artifact store.
+* ``repro-serve`` (:mod:`repro.cli.serve`) — read-only HTTP front end
+  answering figure/table/sweep queries from an artifact store with zero
+  simulations.
 
 All tools only print and exit; behaviour lives in the library
 (:mod:`repro.exec`, :mod:`repro.experiments`, :mod:`repro.bench`) so it

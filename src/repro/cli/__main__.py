@@ -1,4 +1,4 @@
-"""Dispatcher: ``python -m repro.cli {bench,cache,lint,sweep} …``.
+"""Dispatcher: ``python -m repro.cli {bench,cache,campaign,lint,serve,sweep} …``.
 
 Lets the CLIs run straight from a checkout (``PYTHONPATH=src``) without
 installing the console entry points declared in ``pyproject.toml``.
@@ -8,9 +8,10 @@ from __future__ import annotations
 
 import sys
 
-from repro.cli import bench, cache, lint, sweep
+from repro.cli import bench, cache, campaign, lint, serve, sweep
 
-TOOLS = {"bench": bench.main, "cache": cache.main, "lint": lint.main,
+TOOLS = {"bench": bench.main, "cache": cache.main,
+         "campaign": campaign.main, "lint": lint.main, "serve": serve.main,
          "sweep": sweep.main}
 
 

@@ -59,6 +59,7 @@ from typing import List, Optional
 from repro.exec import (
     ClusterExecutor,
     FaultInjection,
+    StaleArtifactError,
     SweepShard,
     ShardSpec,
     add_executor_options,
@@ -72,10 +73,9 @@ from repro.experiments import (
     SWEEP_PROFILES,
     SweepResult,
     SweepSettings,
-    format_table1,
     render_figures,
-    run_table1,
     sweep_profile,
+    table1_from_sweep,
 )
 from repro.experiments.sweep import describe_sweep_profiles
 from repro.registry import PROPAGATION, REGISTRIES
@@ -333,17 +333,21 @@ def cmd_merge(args: argparse.Namespace) -> int:
 
 
 def cmd_render(args: argparse.Namespace) -> int:
-    sweep = SweepResult.load(args.artifact)
+    try:
+        sweep = SweepResult.load(args.artifact,
+                                 allow_stale=args.allow_stale)
+    except StaleArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_figures(sweep, args.figures or None))
     if args.table1:
-        dsr_runs = sweep.runs_for_protocol("DSR")
-        if not dsr_runs:
+        table1_text = table1_from_sweep(sweep)
+        if table1_text is None:
             print("\n(no DSR run in the artifact; Table I skipped)",
                   file=sys.stderr)
             return 1
-        normalization, _ = run_table1(result=dsr_runs[0])
         print()
-        print(format_table1(normalization))
+        print(table1_text)
     return 0
 
 
@@ -422,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--table1", action="store_true",
                         help="also render Table I from the artifact's "
                              "first DSR run")
+    render.add_argument("--allow-stale", action="store_true",
+                        help="render an artifact stamped by a different "
+                             "repro version anyway (warns instead of "
+                             "refusing)")
     render.set_defaults(func=cmd_render)
     return parser
 

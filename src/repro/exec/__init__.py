@@ -28,8 +28,15 @@ Quick usage::
     sweep = run_speed_sweep(SweepSettings.bench(), executor=executor)
 """
 
+from repro.exec.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    StaleArtifactError,
+    check_artifact_stamp,
+    stamp_artifact,
+)
 from repro.exec.cache import (
     CACHE_FORMAT_VERSION,
+    atomic_write_text,
     CacheProblem,
     CacheStats,
     MergeStats,
@@ -58,6 +65,7 @@ from repro.exec.shard import (
     run_sweep_shard,
     shard_of_config,
     shard_of_key,
+    sweep_from_cache,
 )
 from repro.exec.scheduler import (
     ClusterExecutor,
@@ -68,6 +76,7 @@ from repro.exec.scheduler import (
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
     "CACHE_FORMAT_VERSION",
     "CacheProblem",
     "CacheStats",
@@ -81,13 +90,16 @@ __all__ = [
     "ResultCache",
     "SchedulerError",
     "SerialExecutor",
+    "StaleArtifactError",
     "ShardMerger",
     "ShardScheduler",
     "ShardSpec",
     "SweepShard",
     "add_executor_options",
     "assemble_sweep_result",
+    "atomic_write_text",
     "build_executor",
+    "check_artifact_stamp",
     "config_key",
     "executor_from_args",
     "merge_shard_results",
@@ -98,4 +110,6 @@ __all__ = [
     "shard_of_config",
     "shard_of_key",
     "simulate",
+    "stamp_artifact",
+    "sweep_from_cache",
 ]

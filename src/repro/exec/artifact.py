@@ -1,0 +1,78 @@
+"""Version stamps for durable experiment artifacts.
+
+Sweep results, shard pieces, and campaign-store indexes are long-lived
+JSON files that outlive the code that wrote them.  Each one carries two
+provenance fields:
+
+``repro_version``
+    The ``repro`` package version that produced the artifact.  Any
+    change that alters simulation behaviour bumps it, so a stamped
+    artifact mismatching the running version means "these numbers would
+    not reproduce today" — loading one is refused unless the caller
+    explicitly opts in with ``allow_stale``.
+
+``artifact_format``
+    The layout version of the artifact files themselves
+    (:data:`ARTIFACT_FORMAT_VERSION`).  Independent of both
+    ``repro_version`` and the result cache's ``CACHE_FORMAT_VERSION``:
+    bump it only when the JSON *shape* changes incompatibly.
+
+Artifacts written before stamping existed load with a warning, not an
+error — they are probably fine, but nothing can prove it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, List, Mapping
+
+from repro.version import __version__
+
+#: Bump when the sweep/shard/index artifact layout changes shape.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+class StaleArtifactError(ValueError):
+    """A stamped artifact does not match the running ``repro`` version."""
+
+
+def stamp_artifact(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Add the provenance stamp to ``payload`` (in place) and return it."""
+    payload["artifact_format"] = ARTIFACT_FORMAT_VERSION
+    payload["repro_version"] = __version__
+    return payload
+
+
+def check_artifact_stamp(data: Mapping[str, Any], kind: str,
+                         allow_stale: bool = False) -> None:
+    """Validate the provenance stamp of a loaded artifact dictionary.
+
+    * Unstamped (pre-provenance) artifacts warn and load.
+    * Mismatched stamps raise :class:`StaleArtifactError` — unless
+      ``allow_stale`` is set, which downgrades the refusal to a warning
+      (the CLI escape hatch ``--allow-stale``).
+    """
+    artifact_format = data.get("artifact_format")
+    repro_version = data.get("repro_version")
+    if artifact_format is None and repro_version is None:
+        warnings.warn(
+            f"{kind} artifact carries no version stamp (written before "
+            f"artifact provenance existed); loading it as-is — re-save "
+            f"to stamp it", stacklevel=3)
+        return
+    problems: List[str] = []
+    if artifact_format != ARTIFACT_FORMAT_VERSION:
+        problems.append(f"artifact format {artifact_format!r} != "
+                        f"{ARTIFACT_FORMAT_VERSION}")
+    if repro_version != __version__:
+        problems.append(f"repro {repro_version!r} != {__version__}")
+    if not problems:
+        return
+    message = f"stale {kind} artifact: " + "; ".join(problems)
+    if allow_stale:
+        warnings.warn(message + " (loaded anyway: allow_stale)",
+                      stacklevel=3)
+        return
+    raise StaleArtifactError(
+        message + " — re-run the sweep to regenerate, or pass "
+        "allow_stale=True / --allow-stale to load it anyway")

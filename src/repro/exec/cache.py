@@ -45,6 +45,41 @@ from repro.version import __version__
 #: Bump when the on-disk entry layout changes; older entries become misses.
 CACHE_FORMAT_VERSION = 1
 
+#: Bytes read by the :meth:`ResultCache.has_current` bounded probe —
+#: comfortably larger than the fixed header :meth:`ResultCache.put`
+#: writes (format version + 64-hex key + repro version ≈ 120 bytes).
+_PROBE_HEADER_BYTES = 512
+
+
+def atomic_write_text(path: Union[str, os.PathLike], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically (unique temp + ``os.replace``).
+
+    The durable-artifact discipline shared by the cache, sweep/shard
+    artifacts, and the campaign artifact store: a reader never observes
+    a half-written file, and a killed writer leaves only a
+    ``.{name}.{pid}.tmp`` orphan that sweepers recognise.
+    """
+    target = Path(path)
+    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    tmp.write_text(text, encoding=encoding)
+    os.replace(tmp, target)
+    return target
+
+
+def _entry_header(key: str) -> str:
+    """The fixed JSON prefix :meth:`ResultCache.put` writes for ``key``.
+
+    Entries open with the three guard fields in a byte-exact layout so
+    :meth:`ResultCache.has_current` can validate an entry from a small
+    bounded read instead of parsing the (potentially large) ``result``
+    payload.  The prefix cannot be spoofed by entry *content*: JSON
+    string values escape the quote characters the layout relies on.
+    """
+    return (f'{{"format_version": {CACHE_FORMAT_VERSION}, '
+            f'"key": "{key}", '
+            f'"repro_version": {json.dumps(__version__)}, ')
+
 
 def _temp_file_pid(name: str) -> Optional[int]:
     """The writer pid encoded in a ``.{key}.{pid}.tmp`` file name."""
@@ -181,10 +216,28 @@ class ResultCache:
         counters — a cheap existence probe (used by the scheduler's
         progress heartbeat, where only *whether* a cell completed
         matters, not its content).
+
+        Cost is O(1)-ish, not O(entry size): the probe reads a small
+        bounded head and byte-compares it against the exact
+        :func:`_entry_header` prefix :meth:`put` writes, so a multi-MB
+        ``result`` payload is never read, let alone parsed.  Entries
+        written before the header layout fall back to the full parse
+        with identical guard semantics.
         """
+        path = self.path_for(config)
+        key = path.stem
         try:
-            payload = json.loads(
-                self.path_for(config).read_text(encoding="utf-8"))
+            with open(path, encoding="utf-8") as handle:
+                head = handle.read(_PROBE_HEADER_BYTES)
+        except (OSError, ValueError):
+            return False
+        if head.startswith(_entry_header(key)):
+            return True
+        # Legacy (pre-header) entries start straight into the sorted-key
+        # body; give them the original whole-file check.
+        try:
+            payload = json.loads(head if len(head) < _PROBE_HEADER_BYTES
+                                 else path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return False
         return (isinstance(payload, dict)
@@ -218,19 +271,25 @@ class ResultCache:
         The write is atomic (temp file + ``os.replace``), so concurrent
         writers — e.g. two parallel sweeps sharing a cache directory —
         can only race to write identical content.
+
+        Entries are one JSON object whose first bytes are the fixed
+        :func:`_entry_header` guard prefix (format version, key, repro
+        version), followed by the sorted-key body.  Readers that need
+        the payload (:meth:`get`) parse the whole object as before;
+        :meth:`has_current` validates entries from the header alone.
         """
         key = config_key(config)
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
+        body = json.dumps({
             "version": CACHE_FORMAT_VERSION,
             "repro_version": __version__,
             "key": key,
             "config": config.to_dict(),
             "result": result.to_dict(),
-        }
+        }, sort_keys=True)
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        tmp.write_text(_entry_header(key) + body[1:], encoding="utf-8")
         os.replace(tmp, path)
         return path
 

@@ -37,7 +37,8 @@ from typing import (
     Callable, Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING, Union,
 )
 
-from repro.exec.cache import ResultCache, config_key
+from repro.exec.artifact import check_artifact_stamp, stamp_artifact
+from repro.exec.cache import ResultCache, atomic_write_text, config_key
 from repro.exec.executor import Executor, resolve_executor
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult, aggregate_results
@@ -124,19 +125,30 @@ class SweepShard:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """JSON-compatible dictionary (grid indices become string keys)."""
-        return {
+        """JSON-compatible dictionary (grid indices become string keys).
+
+        Stamped with artifact provenance (``artifact_format`` +
+        ``repro_version``); see :mod:`repro.exec.artifact`.
+        """
+        return stamp_artifact({
             "settings": self.settings.to_dict(),
             "shard_index": self.shard.index,
             "shard_count": self.shard.count,
             "results": {str(index): result.to_dict()
                         for index, result in sorted(self.results.items())},
-        }
+        })
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "SweepShard":
-        """Rebuild a shard from :meth:`to_dict` output (or parsed JSON)."""
+    def from_dict(cls, data: Mapping[str, object],
+                  allow_stale: bool = False) -> "SweepShard":
+        """Rebuild a shard from :meth:`to_dict` output (or parsed JSON).
+
+        Refuses shards stamped by a different ``repro`` version unless
+        ``allow_stale`` is set; unstamped (pre-provenance) shards load
+        with a warning.
+        """
         from repro.experiments.sweep import SweepSettings
+        check_artifact_stamp(data, "sweep shard", allow_stale=allow_stale)
         return cls(
             settings=SweepSettings.from_dict(data["settings"]),
             shard=ShardSpec(index=int(data["shard_index"]),
@@ -150,18 +162,26 @@ class SweepShard:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
-    def from_json(cls, payload: str) -> "SweepShard":
+    def from_json(cls, payload: str,
+                  allow_stale: bool = False) -> "SweepShard":
         """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(payload))
+        return cls.from_dict(json.loads(payload), allow_stale=allow_stale)
 
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write this shard to ``path`` as JSON."""
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        """Write this shard to ``path`` as JSON, atomically.
+
+        Same temp + ``os.replace`` discipline as cache entries: a worker
+        killed mid-write can never leave a truncated artifact where the
+        merge step expects a shard.
+        """
+        atomic_write_text(path, self.to_json())
 
     @classmethod
-    def load(cls, path: Union[str, os.PathLike]) -> "SweepShard":
+    def load(cls, path: Union[str, os.PathLike],
+             allow_stale: bool = False) -> "SweepShard":
         """Reload a shard previously written by :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        return cls.from_json(Path(path).read_text(encoding="utf-8"),
+                             allow_stale=allow_stale)
 
 
 def run_sweep_shard(settings: Optional["SweepSettings"] = None,
@@ -243,6 +263,24 @@ def assemble_sweep_result(settings: "SweepSettings",
     aggregates = {key: aggregate_results(cell_results)
                   for key, cell_results in runs.items()}
     return SweepResult(settings=settings, aggregates=aggregates, runs=runs)
+
+
+def sweep_from_cache(settings: "SweepSettings", cache: ResultCache,
+                     ) -> Tuple[Optional["SweepResult"], List[int]]:
+    """Assemble the full sweep purely from cache hits — zero simulations.
+
+    Returns ``(sweep, missing)``: when every grid cell of ``settings``
+    is cached, ``sweep`` is the assembled :class:`SweepResult` (byte
+    identical to a fresh run, since :func:`assemble_sweep_result` is the
+    one canonical assembly path) and ``missing`` is empty; otherwise
+    ``sweep`` is ``None`` and ``missing`` lists the canonical grid
+    indices that would have to be simulated.  This is the query layer's
+    primitive: serving a figure is a cache walk, never a run.
+    """
+    hits, misses = cache.lookup(settings.cell_configs())
+    if misses:
+        return None, misses
+    return assemble_sweep_result(settings, hits), []
 
 
 class ShardMerger:

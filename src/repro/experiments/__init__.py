@@ -27,7 +27,11 @@ from repro.experiments.figures import (
     render_figures,
     run_figure,
 )
-from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table1 import (
+    format_table1,
+    run_table1,
+    table1_from_sweep,
+)
 from repro.experiments.ablations import (
     format_ablation,
     run_check_interval_ablation,
@@ -48,6 +52,7 @@ __all__ = [
     "run_figure",
     "run_table1",
     "format_table1",
+    "table1_from_sweep",
     "run_check_interval_ablation",
     "run_max_paths_ablation",
     "format_ablation",

@@ -155,6 +155,7 @@ def run_figure(figure_id: str, settings: Optional[SweepSettings] = None,
                executor: Optional[Executor] = None,
                cache: Optional[ResultCache] = None,
                artifact: Union[str, os.PathLike, None] = None,
+               allow_stale: bool = False,
                ) -> Dict[str, List[float]]:
     """Run (or reuse) a sweep and return the figure's per-protocol series.
 
@@ -163,27 +164,38 @@ def run_figure(figure_id: str, settings: Optional[SweepSettings] = None,
     shared cache, regenerating every figure costs one sweep in total.
     ``artifact`` reuses a sweep saved by :meth:`SweepResult.save` instead
     of simulating: the figure is re-rendered without touching the cache
-    or the simulator at all.
+    or the simulator at all (``allow_stale`` forwards to
+    :meth:`SweepResult.load`'s version-stamp check).
     """
     if figure_id not in FIGURES:
         raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
     if artifact is not None:
         if sweep is not None:
             raise ValueError("pass either sweep= or artifact=, not both")
-        sweep = SweepResult.load(artifact)
+        sweep = SweepResult.load(artifact, allow_stale=allow_stale)
     if sweep is None:
         sweep = run_speed_sweep(settings, executor=executor, cache=cache)
     return figure_series(sweep, figure_id)
 
 
-def render_figures(sweep: SweepResult,
-                   figure_ids: Optional[Sequence[str]] = None) -> str:
+def render_figures(sweep: Optional[SweepResult] = None,
+                   figure_ids: Optional[Sequence[str]] = None,
+                   *,
+                   artifact: Union[str, os.PathLike, None] = None,
+                   allow_stale: bool = False) -> str:
     """Render the requested figures (default: all, in id order) as text.
 
-    This is the incremental-regeneration path: pair it with
-    :meth:`SweepResult.load` to re-render every figure from a saved sweep
-    artifact with **zero** simulations (CLI: ``repro-sweep render``).
+    This is the incremental-regeneration path: pass a loaded ``sweep``
+    or an ``artifact`` path saved by :meth:`SweepResult.save` to
+    re-render every figure with **zero** simulations (CLI:
+    ``repro-sweep render``; the campaign store serves the same bytes).
     """
+    if artifact is not None:
+        if sweep is not None:
+            raise ValueError("pass either sweep= or artifact=, not both")
+        sweep = SweepResult.load(artifact, allow_stale=allow_stale)
+    if sweep is None:
+        raise ValueError("render_figures needs a sweep= or an artifact=")
     if figure_ids is None:
         figure_ids = sorted(FIGURES)
     unknown = sorted(set(figure_ids) - set(FIGURES))

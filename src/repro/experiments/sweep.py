@@ -34,7 +34,8 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.exec import (
-    Executor, ResultCache, assemble_sweep_result, resolve_executor,
+    Executor, ResultCache, assemble_sweep_result, atomic_write_text,
+    check_artifact_stamp, resolve_executor, stamp_artifact,
 )
 from repro.scenario.config import ScenarioConfig, normalize_config_fields
 from repro.scenario.results import AggregateResult, ScenarioResult
@@ -340,7 +341,12 @@ class SweepResult:
     # serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """JSON-compatible dictionary: settings plus every cell's results."""
+        """JSON-compatible dictionary: settings plus every cell's results.
+
+        Stamped with artifact provenance (``artifact_format`` +
+        ``repro_version``, see :mod:`repro.exec.artifact`) so a saved
+        sweep records which simulator produced its numbers.
+        """
         cells = []
         for (protocol, speed), aggregate in sorted(self.aggregates.items()):
             cells.append({
@@ -350,11 +356,21 @@ class SweepResult:
                 "runs": [run.to_dict()
                          for run in self.runs[(protocol, speed)]],
             })
-        return {"settings": self.settings.to_dict(), "cells": cells}
+        return stamp_artifact(
+            {"settings": self.settings.to_dict(), "cells": cells})
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "SweepResult":
-        """Rebuild a sweep result from :meth:`to_dict` output."""
+    def from_dict(cls, data: Mapping[str, object],
+                  allow_stale: bool = False) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_dict` output.
+
+        Artifacts stamped by a different ``repro`` version raise
+        :class:`~repro.exec.artifact.StaleArtifactError` — their numbers
+        would not reproduce under the running simulator — unless
+        ``allow_stale`` downgrades that to a warning.  Unstamped
+        (pre-provenance) artifacts load with a warning.
+        """
+        check_artifact_stamp(data, "sweep", allow_stale=allow_stale)
         settings = SweepSettings.from_dict(data["settings"])
         aggregates: Dict[Tuple[str, float], AggregateResult] = {}
         runs: Dict[Tuple[str, float], List[ScenarioResult]] = {}
@@ -370,18 +386,26 @@ class SweepResult:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
-    def from_json(cls, payload: str) -> "SweepResult":
+    def from_json(cls, payload: str,
+                  allow_stale: bool = False) -> "SweepResult":
         """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(payload))
+        return cls.from_dict(json.loads(payload), allow_stale=allow_stale)
 
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write the sweep (settings + every run) to ``path`` as JSON."""
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        """Write the sweep (settings + every run) to ``path``, atomically.
+
+        Uses the cache's temp + ``os.replace`` pattern: a Ctrl-C or
+        killed worker mid-save can never leave a truncated artifact for
+        a later ``repro-sweep render`` to crash on.
+        """
+        atomic_write_text(path, self.to_json())
 
     @classmethod
-    def load(cls, path: Union[str, os.PathLike]) -> "SweepResult":
+    def load(cls, path: Union[str, os.PathLike],
+             allow_stale: bool = False) -> "SweepResult":
         """Reload a sweep previously written by :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        return cls.from_json(Path(path).read_text(encoding="utf-8"),
+                             allow_stale=allow_stale)
 
 
 def run_speed_sweep(settings: Optional[SweepSettings] = None,

@@ -9,12 +9,15 @@ reproduces that walkthrough for a configurable scenario and
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, TYPE_CHECKING, Tuple
 
 from repro.exec import Executor, ResultCache, resolve_executor
 from repro.metrics.relay import RelayNormalization, normalize_relay_counts
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.sweep import SweepResult
 
 
 def run_table1(config: Optional[ScenarioConfig] = None,
@@ -53,6 +56,21 @@ def run_table1(config: Optional[ScenarioConfig] = None,
     result = resolve_executor(executor, cache).run_one(config)
     normalization = normalize_relay_counts(result.relay_counts)
     return normalization, result
+
+
+def table1_from_sweep(sweep: "SweepResult") -> Optional[str]:
+    """Table I text derived from a saved sweep — zero simulations.
+
+    Uses the sweep's first DSR run (lowest speed, first replication),
+    matching ``repro-sweep render --table1``.  Returns ``None`` when the
+    sweep contains no DSR runs (e.g. a single-protocol profile), so
+    callers can skip the table rather than fail the whole render.
+    """
+    dsr_runs = sweep.runs_for_protocol("DSR")
+    if not dsr_runs:
+        return None
+    normalization, _ = run_table1(result=dsr_runs[0])
+    return format_table1(normalization)
 
 
 def format_table1(normalization: RelayNormalization) -> str:

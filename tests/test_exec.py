@@ -16,10 +16,13 @@ import time
 
 import pytest
 
+import repro.exec.cache as exec_cache
 from repro.exec import (
+    ARTIFACT_FORMAT_VERSION,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
+    StaleArtifactError,
     build_executor,
     config_key,
     resolve_executor,
@@ -32,6 +35,7 @@ from repro.scenario.results import (
     aggregate_results,
 )
 from repro.scenario.runner import run_replications, run_scenario
+from repro.version import __version__
 
 
 def tiny_config(**overrides) -> ScenarioConfig:
@@ -369,3 +373,196 @@ class TestCacheMaintenance:
         stats = a.merge_from(b)
         assert (stats.copied, stats.conflicts) == (0, 1)
         assert path_a.read_text() == original + " "  # destination kept
+
+
+class TestHasCurrentProbe:
+    """The O(1) entry-header probe behind campaign status polling.
+
+    The contract under test: :meth:`ResultCache.has_current` applies the
+    same format/version guards as :meth:`ResultCache.get` while never
+    reading — let alone deserializing — the ``result`` payload.
+    """
+
+    def test_probe_matches_get_and_leaves_counters_alone(self, tmp_path,
+                                                         tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        assert not cache.has_current(config)
+        cache.put(config, tiny_result)
+        assert cache.has_current(config)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_probe_never_deserializes_the_result(self, tmp_path, tiny_result,
+                                                 monkeypatch):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        cache.put(config, tiny_result)
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("has_current touched the entry payload")
+
+        # With every parsing path booby-trapped, only a bounded header
+        # comparison can still answer truthfully.
+        monkeypatch.setattr(exec_cache.json, "loads", boom)
+        monkeypatch.setattr(ScenarioResult, "from_dict", boom)
+        assert cache.has_current(config)
+
+    def test_probe_reads_a_bounded_head_not_the_whole_file(self, tmp_path,
+                                                           tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        path = cache.put(config, tiny_result)
+        text = path.read_text()
+        assert len(text) > exec_cache._PROBE_HEADER_BYTES
+        # Corrupt bytes past the probe window: invisible to the probe
+        # (proof it never reads the payload), fatal to a full get().
+        path.write_text(text[:-40] + "#" * 40)
+        assert cache.has_current(config)
+        assert cache.get(config) is None
+
+    def test_probe_version_guard_not_weakened(self, tmp_path, tiny_result,
+                                              monkeypatch):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        cache.put(config, tiny_result)
+        # An entry written by today's version must read as absent to a
+        # future simulator, exactly like get() treats it as a miss.
+        monkeypatch.setattr(exec_cache, "__version__", "9.9.9")
+        assert not cache.has_current(config)
+
+    def test_probe_accepts_legacy_entry_layout(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        path = cache.put(config, tiny_result)
+        payload = json.loads(path.read_text())
+        legacy = {field: payload[field]
+                  for field in ("version", "repro_version", "key",
+                                "config", "result")}
+        # Pre-header entries are a plain sorted-key dump; the probe must
+        # fall back to the full check rather than miss on them.
+        path.write_text(json.dumps(legacy, sort_keys=True))
+        assert cache.has_current(config)
+        assert cache.get(config) == tiny_result
+
+    def test_probe_rejects_stale_legacy_entry(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        path = cache.put(config, tiny_result)
+        payload = json.loads(path.read_text())
+        legacy = {field: payload[field]
+                  for field in ("version", "repro_version", "key",
+                                "config", "result")}
+        legacy["repro_version"] = "0.0.1"
+        path.write_text(json.dumps(legacy, sort_keys=True))
+        assert not cache.has_current(config)
+
+
+class TestGcEdgeCases:
+    """Byte-budget tie-breaking, combined criteria, and dry-run parity."""
+
+    def warm(self, tmp_path, tiny_result, n=3) -> ResultCache:
+        cache = ResultCache(tmp_path / "cache")
+        for seed in range(1, n + 1):
+            cache.put(tiny_config(seed=seed), tiny_result)
+        return cache
+
+    def test_byte_budget_with_tied_mtimes_is_deterministic(self, tmp_path,
+                                                           tiny_result):
+        cache = self.warm(tmp_path, tiny_result)
+        paths = sorted(cache._entry_files())
+        stamp = time.time() - 100
+        for path in paths:
+            os.utime(path, (stamp, stamp))
+        sizes = [path.stat().st_size for path in paths]
+        # Budget keeps exactly two entries.  With every mtime tied, the
+        # (mtime, size, path) eviction sort falls through to the path,
+        # so the doomed set is the same on any filesystem.
+        budget = sizes[1] + sizes[2]
+        assert cache.gc(max_total_bytes=budget, dry_run=True) == [paths[0]]
+        assert cache.gc(max_total_bytes=budget) == [paths[0]]
+        assert sorted(cache._entry_files()) == paths[1:]
+
+    def test_combined_age_and_byte_budget(self, tmp_path, tiny_result):
+        cache = self.warm(tmp_path, tiny_result, n=4)
+        paths = sorted(cache._entry_files())
+        now = time.time()
+        os.utime(paths[0], (now - 10 * 86400,) * 2)   # age-expired
+        os.utime(paths[1], (now - 300,) * 2)
+        os.utime(paths[2], (now - 200,) * 2)
+        os.utime(paths[3], (now - 100,) * 2)
+        budget = paths[2].stat().st_size + paths[3].stat().st_size
+        doomed = cache.gc(max_age_seconds=86400.0, max_total_bytes=budget)
+        # The age pass removed paths[0]; the byte pass then evicted the
+        # oldest *survivor* — an age-expired entry is never double
+        # counted against the budget.
+        assert doomed == [paths[0], paths[1]]
+        assert sorted(cache._entry_files()) == paths[2:]
+
+    def test_dry_run_predicts_the_exact_doomed_set(self, tmp_path,
+                                                   tiny_result):
+        cache = self.warm(tmp_path, tiny_result)
+        paths = sorted(cache._entry_files())
+        os.utime(paths[1], (time.time() - 5 * 86400,) * 2)
+        budget = paths[0].stat().st_size
+        dry = cache.gc(max_age_seconds=86400.0, max_total_bytes=budget,
+                       dry_run=True)
+        assert len(cache) == 3                       # nothing deleted
+        wet = cache.gc(max_age_seconds=86400.0, max_total_bytes=budget)
+        assert wet == dry
+        assert len(cache) == 1
+
+
+class TestArtifactStamps:
+    """Atomic sweep-artifact saves + the provenance stamp contract."""
+
+    def test_save_is_atomic_and_leaves_no_temp(self, smoke_serial, tmp_path):
+        path = tmp_path / "sweep.json"
+        smoke_serial.save(path)
+        assert list(tmp_path.glob(".*.tmp")) == []
+        assert SweepResult.load(path).rows() == smoke_serial.rows()
+
+    def test_interrupted_save_never_truncates_the_artifact(
+            self, smoke_serial, tmp_path, monkeypatch):
+        # The bug this PR fixes: save() used to truncate-then-write in
+        # place, so a crash mid-write destroyed the previous artifact.
+        # A crash at the rename must leave the old bytes untouched.
+        path = tmp_path / "sweep.json"
+        smoke_serial.save(path)
+        original = path.read_bytes()
+
+        def boom(_src, _dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(exec_cache.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            smoke_serial.save(path)
+        assert path.read_bytes() == original
+
+    def test_sweep_artifact_is_stamped(self, smoke_serial):
+        payload = smoke_serial.to_dict()
+        assert payload["artifact_format"] == ARTIFACT_FORMAT_VERSION
+        assert payload["repro_version"] == __version__
+
+    def test_stale_stamp_refused_then_allowed(self, smoke_serial, tmp_path):
+        path = tmp_path / "sweep.json"
+        smoke_serial.save(path)
+        payload = json.loads(path.read_text())
+        payload["repro_version"] = "0.0.1"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StaleArtifactError, match="allow-stale"):
+            SweepResult.load(path)
+        with pytest.warns(UserWarning, match="loaded anyway"):
+            restored = SweepResult.load(path, allow_stale=True)
+        assert restored.rows() == smoke_serial.rows()
+
+    def test_unstamped_artifact_warns_and_loads(self, smoke_serial,
+                                                tmp_path):
+        path = tmp_path / "sweep.json"
+        smoke_serial.save(path)
+        payload = json.loads(path.read_text())
+        payload.pop("artifact_format")
+        payload.pop("repro_version")
+        path.write_text(json.dumps(payload))
+        with pytest.warns(UserWarning, match="no version stamp"):
+            restored = SweepResult.load(path)
+        assert restored.rows() == smoke_serial.rows()
