@@ -23,6 +23,11 @@ simulator, and a cache hit would measure JSON parsing instead.
 """
 
 from repro.bench.compare import CaseDelta, CompareReport, compare_reports
+from repro.bench.orchestration import (
+    ORCHESTRATION_PROFILE,
+    OrchestrationSpec,
+    run_orchestration,
+)
 from repro.bench.profiles import BENCH_PROFILES, BenchCase, BenchProfile, bench_profile
 from repro.bench.runner import BenchCaseResult, BenchReport, run_case, run_profile
 
@@ -34,8 +39,11 @@ __all__ = [
     "BenchReport",
     "CaseDelta",
     "CompareReport",
+    "ORCHESTRATION_PROFILE",
+    "OrchestrationSpec",
     "bench_profile",
     "compare_reports",
     "run_case",
+    "run_orchestration",
     "run_profile",
 ]

@@ -72,6 +72,14 @@ class BenchCaseResult:
     horizon_batches: int = 0
     mean_batch_size: float = 0.0
     max_batch_size: int = 0
+    #: Fire-group engagement statistics of ``schedule_fire_many``.
+    #: ``mean_batch_size`` stays ~1.0 by construction (distance-dependent
+    #: delays give unique delivery timestamps); these count the grouped
+    #: *scheduling* pushes, which is where batching actually engages.
+    fire_groups: int = 0
+    fire_group_members: int = 0
+    fire_group_requeued: int = 0
+    mean_group_size: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible dictionary of every measurement."""
@@ -207,6 +215,10 @@ def run_case(case: BenchCase) -> BenchCaseResult:
         horizon_batches=sim.horizon_batches,
         mean_batch_size=sim.mean_batch_size,
         max_batch_size=sim.max_batch_size,
+        fire_groups=sim.fire_groups,
+        fire_group_members=sim.fire_group_members,
+        fire_group_requeued=sim.fire_group_requeued,
+        mean_group_size=sim.mean_group_size,
     )
 
 

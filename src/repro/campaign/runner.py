@@ -17,7 +17,8 @@ from typing import Dict, List, Optional
 from repro.campaign.manifest import CampaignSpec
 from repro.campaign.store import ArtifactStore
 from repro.exec import (
-    Executor, ResultCache, assemble_sweep_result, resolve_executor,
+    ClusterExecutor, Executor, ResultCache, assemble_sweep_result,
+    resolve_executor,
 )
 from repro.experiments.figures import FIGURES, format_figure, render_figures
 from repro.experiments.sweep import SweepResult
@@ -113,7 +114,9 @@ def run_campaign(spec: CampaignSpec,
                  cache: Optional[ResultCache] = None,
                  executor: Optional[Executor] = None,
                  store: Optional[ArtifactStore] = None,
-                 stop_after_cells: Optional[int] = None) -> CampaignReport:
+                 stop_after_cells: Optional[int] = None,
+                 scheduler: Optional[ClusterExecutor] = None,
+                 ) -> CampaignReport:
     """Run (or resume) every entry of ``spec``; optionally publish.
 
     Parameters
@@ -131,11 +134,23 @@ def run_campaign(spec: CampaignSpec,
     stop_after_cells:
         Deterministic kill switch for resume testing: raise
         :class:`CampaignInterrupted` once this many *new* simulations
-        have completed (each durably cached first).
+        have completed (each durably cached first).  Not supported on
+        the scheduler path (cells complete in parallel worker
+        processes, so a serial "after N" point does not exist).
+    scheduler:
+        A :class:`~repro.exec.ClusterExecutor` to run every entry
+        through instead of a cell-at-a-time executor.  Its persistent
+        worker pool is reused across all entries (spawn once, run the
+        whole campaign warm); the caller keeps ownership — close it (or
+        use it as a context manager) after the campaign.  Mutually
+        exclusive with ``executor`` and ``stop_after_cells``.
 
     Cells already cached are never re-simulated; an interrupted or
     crashed campaign therefore resumes by re-running the same call.
     """
+    if scheduler is not None:
+        return _run_campaign_scheduled(spec, cache, scheduler, store,
+                                       executor, stop_after_cells)
     runner = resolve_executor(executor, cache)
     cache = runner.cache
     if cache is None:
@@ -168,6 +183,53 @@ def run_campaign(spec: CampaignSpec,
         entries.append(EntryRun(name=entry.name, cells=len(configs),
                                 from_cache=len(configs) - simulated,
                                 simulated=simulated))
+    index_path = None
+    if store is not None:
+        index_path = publish_campaign(spec, sweeps, store)
+    return CampaignReport(campaign=spec.name, entries=entries,
+                          index_path=index_path, sweeps=sweeps)
+
+
+def _run_campaign_scheduled(spec: CampaignSpec,
+                            cache: Optional[ResultCache],
+                            scheduler: ClusterExecutor,
+                            store: Optional[ArtifactStore],
+                            executor: Optional[Executor],
+                            stop_after_cells: Optional[int],
+                            ) -> CampaignReport:
+    """Scheduler path of :func:`run_campaign`: one warm pool, all entries.
+
+    Each entry's grid runs through ``scheduler.run_sweep`` — the cache
+    pre-filter gives the same resume semantics as the serial path, and
+    the pooled workers stay warm from one entry to the next.  Per-entry
+    ``from_cache``/``simulated`` come from the scheduler's own counters
+    (``cells_from_cache``/``cells_streamed``); its ``stage_seconds``
+    accumulate into ``total_stage_seconds`` across the campaign.
+    """
+    if executor is not None:
+        raise ValueError(
+            "run_campaign takes either executor= or scheduler=, not both")
+    if stop_after_cells is not None:
+        raise ValueError(
+            "stop_after_cells is not supported with scheduler= (cells "
+            "complete in parallel worker processes); use the serial or "
+            "parallel executor path for resume testing")
+    if scheduler.cache is None:
+        if cache is None:
+            raise ValueError(
+                "run_campaign needs a cache (pass cache= or a scheduler "
+                "with one): campaign resumability lives in the result "
+                "cache")
+        scheduler.cache = cache
+    entries: List[EntryRun] = []
+    sweeps: Dict[str, SweepResult] = {}
+    for entry, settings in spec.expand():
+        sweep = scheduler.run_sweep(settings)
+        sweeps[entry.name] = sweep
+        entries.append(EntryRun(name=entry.name,
+                                cells=len(settings.grid()),
+                                from_cache=scheduler.cells_from_cache,
+                                simulated=scheduler.cells_streamed))
     index_path = None
     if store is not None:
         index_path = publish_campaign(spec, sweeps, store)

@@ -3,8 +3,11 @@
 Usage::
 
     repro-bench [--profile P ...] [--out-dir DIR] [--quiet]
+                [--cprofile FILE]
                 [--compare-against REF.json [--threshold PCT]
                  [--min-speedup RATIO]]
+    repro-bench --profile orchestration [--orch-src SRC_DIR]
+                [--orch-best-of N]
     repro-bench --list  (alias: --list-profiles)
     repro-bench compare BASELINE.json CANDIDATE.json [--threshold PCT]
                 [--min-speedup RATIO]
@@ -26,6 +29,13 @@ the main run path benches the requested profile and immediately gates it
 against a previously recorded reference artifact — this is what the CI
 ``bench-gate`` job runs.
 
+The ``orchestration`` profile measures the sweep *scheduler* (cells/sec
+through :class:`~repro.exec.scheduler.ClusterExecutor`) instead of the
+kernel — see :mod:`repro.bench.orchestration`; ``--orch-src`` points its
+subprocess driver at a different ``src`` tree, which is how CI benches
+the merge-base with the identical workload.  ``--cprofile FILE`` wraps
+any single-profile run in :mod:`cProfile` and dumps ``pstats`` data.
+
 Perf numbers are host-dependent; compare artifacts produced on the same
 machine (artifacts carry a ``meta`` environment stamp, and ``compare``
 warns on cross-host comparisons).  The simulated workload itself is
@@ -37,11 +47,33 @@ its speed.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import functools
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.bench import BENCH_PROFILES, bench_profile, compare_reports, run_profile
+from repro.bench.orchestration import (
+    ORCHESTRATION_PROFILE,
+    OrchestrationSpec,
+    run_orchestration,
+)
 from repro.bench.runner import BenchCaseResult, BenchReport
+
+
+def _print_orch_case(result: BenchCaseResult) -> None:
+    grid = result.grid
+    stages = " ".join(
+        f"{name[len('stage_'):-len('_s')]}={grid[name] * 1000.0:.0f}ms"
+        for name in sorted(grid) if name.startswith("stage_"))
+    print(f"  {result.name:<14} {result.events:>6} cells in "
+          f"{result.wall_time_s:7.3f} s = "
+          f"{result.events_per_sec:>7.0f} cells/s"
+          f"  spawned={grid['workers_spawned']:.0f}"
+          f" reused={grid['workers_reused']:.0f}"
+          f" streamed={grid['cells_streamed']:.0f}"
+          f" cached={grid['cells_from_cache']:.0f}"
+          f"  [{stages}]", flush=True)
 
 
 def _print_case(result: BenchCaseResult) -> None:
@@ -65,6 +97,10 @@ def cmd_list() -> int:
         profile = bench_profile(name)
         print(f"{name:<8} {len(profile.cases)} case(s): "
               f"{profile.description}")
+    spec = OrchestrationSpec()
+    print(f"{ORCHESTRATION_PROFILE:<8} 2 case(s): scheduler cells/sec "
+          f"(cold + warm cache) over {spec.entries} campaign-style "
+          f"entries at --scheduler {spec.shards}")
     return 0
 
 
@@ -114,10 +150,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-bench",
         description="Run simulation-kernel benchmarks and write "
                     "BENCH_<profile>.json perf-tracking artifacts.")
+    profile_names = list(BENCH_PROFILES) + [ORCHESTRATION_PROFILE]
     parser.add_argument("--profile", dest="profiles", action="append",
-                        choices=list(BENCH_PROFILES), metavar="NAME",
+                        choices=profile_names, metavar="NAME",
                         help=f"profile to run (repeatable; default: smoke; "
-                             f"one of: {', '.join(BENCH_PROFILES)})")
+                             f"one of: {', '.join(profile_names)})")
     parser.add_argument("--out-dir", default=".", metavar="DIR",
                         help="directory to write BENCH_<profile>.json into "
                              "(default: current directory)")
@@ -143,6 +180,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with --compare-against: warn (never fail) "
                              "when a case's mean refined set grows by more "
                              "than this percent (default: 10)")
+    parser.add_argument("--orch-src", default=None, metavar="SRC_DIR",
+                        help="with --profile orchestration: 'src' tree the "
+                             "driver subprocess imports repro from (default: "
+                             "the current checkout; CI points this at a "
+                             "merge-base worktree to record the reference "
+                             "artifact with the same driver)")
+    parser.add_argument("--orch-best-of", type=int, default=3,
+                        metavar="N",
+                        help="with --profile orchestration: driver "
+                             "repetitions, keeping each case's fastest "
+                             "(default: 3)")
+    parser.add_argument("--cprofile", default=None, metavar="FILE",
+                        help="run the benchmark under cProfile and dump "
+                             "pstats data to FILE (requires exactly one "
+                             "--profile; inspect with python -m pstats)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -154,13 +206,41 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(a reference artifact records a single profile)",
               file=sys.stderr)
         return 2
+    if args.cprofile is not None and len(profiles) != 1:
+        print("error: --cprofile requires exactly one --profile "
+              "(one stats file records one profile run)", file=sys.stderr)
+        return 2
+    if args.orch_src is not None and profiles != [ORCHESTRATION_PROFILE]:
+        print("error: --orch-src only applies to --profile orchestration",
+              file=sys.stderr)
+        return 2
 
     exit_code = 0
     for name in profiles:
-        profile = bench_profile(name)
-        print(f"profile {profile.name}: {len(profile.cases)} case(s)")
-        report = run_profile(profile,
-                             progress=None if args.quiet else _print_case)
+        runner: Callable[[], BenchReport]
+        if name == ORCHESTRATION_PROFILE:
+            spec = OrchestrationSpec()
+            print(f"profile {name}: 2 case(s) "
+                  f"({spec.entries} entries x {spec.cells_per_entry} cells "
+                  f"at --scheduler {spec.shards}, best of "
+                  f"{args.orch_best_of})")
+            runner = functools.partial(
+                run_orchestration, spec=spec, src_root=args.orch_src,
+                best_of=args.orch_best_of,
+                progress=None if args.quiet else _print_orch_case)
+        else:
+            profile = bench_profile(name)
+            print(f"profile {profile.name}: {len(profile.cases)} case(s)")
+            runner = functools.partial(
+                run_profile, profile,
+                progress=None if args.quiet else _print_case)
+        if args.cprofile is not None:
+            profiler = cProfile.Profile()
+            report = profiler.runcall(runner)
+            profiler.dump_stats(args.cprofile)
+            print(f"  wrote cProfile stats to {args.cprofile}")
+        else:
+            report = runner()
         totals = report.totals()
         print(f"  total: {totals['events']:.0f} events in "
               f"{totals['wall_time_s']:.2f} s = "

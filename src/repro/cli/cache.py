@@ -8,10 +8,20 @@ directories)::
     repro-cache prune  ROOT [--temp-age SECONDS] [--dry-run]
     repro-cache merge  DEST SOURCE [SOURCE ...]
     repro-cache gc     ROOT [--max-age-days D] [--max-size-mb M] [--dry-run]
+    repro-cache pack   ROOT [--batch-size N]
+    repro-cache unpack ROOT
 
 Exit status is 0 on success; ``verify`` exits 1 when corrupt entries are
 found and ``merge`` exits 1 when same-key entries with different content
 collide (the destination copy is kept either way).
+
+``pack`` consolidates loose per-cell entry files into packed segment
+files (``packs/*.pack``: many entries per file behind an offset index —
+the layout scheduler workers write by default); ``unpack`` explodes the
+segments back into loose files.  Both preserve every entry byte-for-byte
+and neither changes the content-addressed key contract, so lookups,
+``verify``, ``prune``, ``gc`` and ``merge`` treat packed and loose
+entries identically.
 
 A cache entry is only served when its recorded ``repro`` version matches
 the running package, and **any PR that changes simulation behaviour must
@@ -29,6 +39,7 @@ import sys
 from typing import List, Optional
 
 from repro.exec import ResultCache
+from repro.exec.cache import PACK_BATCH_SIZE
 
 
 def _fmt_bytes(n: int) -> str:
@@ -54,6 +65,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     for version, count in stats.by_version.items():
         marker = " (current)" if version == stats.current_version else ""
         print(f"    repro {version}: {count}{marker}")
+    print(f"  packed:       {stats.packed_entries} entr(ies) in "
+          f"{stats.packs} pack segment(s)")
     print(f"  unreadable:   {stats.unreadable}")
     print(f"  temp files:   {stats.temp_files}")
     return 0
@@ -106,6 +119,19 @@ def cmd_merge(args: argparse.Namespace) -> int:
     print(f"total: {total_copied} copied, {total_identical} already "
           f"present, {total_conflicts} conflict(s)")
     return 1 if total_conflicts else 0
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    segments, packed = ResultCache(args.root).pack_all(
+        batch_size=args.batch_size)
+    print(f"packed {packed} loose entr(ies) into {segments} segment(s)")
+    return 0
+
+
+def cmd_unpack(args: argparse.Namespace) -> int:
+    segments, unpacked = ResultCache(args.root).unpack_all()
+    print(f"unpacked {unpacked} entr(ies) from {segments} segment(s)")
+    return 0
 
 
 def cmd_gc(args: argparse.Namespace) -> int:
@@ -175,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed, remove nothing")
     gc.set_defaults(func=cmd_gc)
+
+    pack = sub.add_parser(
+        "pack", help="consolidate loose entry files into packed segments")
+    pack.add_argument("root", help="cache directory")
+    pack.add_argument("--batch-size", type=int, default=PACK_BATCH_SIZE,
+                      metavar="N",
+                      help="entries per packed segment "
+                           f"(default {PACK_BATCH_SIZE})")
+    pack.set_defaults(func=cmd_pack)
+
+    unpack = sub.add_parser(
+        "unpack", help="explode packed segments back into loose files")
+    unpack.add_argument("root", help="cache directory")
+    unpack.set_defaults(func=cmd_unpack)
     return parser
 
 

@@ -3,7 +3,7 @@
 Subcommands::
 
     repro-campaign run    MANIFEST --cache DIR [--store DIR] [--workers N]
-                          [--stop-after-cells N]
+                          [--stop-after-cells N | --scheduler K]
     repro-campaign status MANIFEST --cache DIR [--json]
     repro-campaign query  --store DIR [--campaign NAME [--entry NAME
                           [--figure ID | --figures | --table1 | --sweep]]]
@@ -17,7 +17,11 @@ deliverables (sweep JSON, figure text, Table I) are published to the
 content-addressed artifact store that ``repro-serve`` and ``query``
 answer from with zero simulations.  ``--stop-after-cells N`` exits with
 code 3 after N newly simulated cells — a deterministic mid-campaign
-"kill" for resume testing and CI.
+"kill" for resume testing and CI.  ``--scheduler K`` runs every entry
+through the streaming shard scheduler instead: one persistent pool of up
+to K warm workers serves the whole campaign, and the per-stage wall-time
+totals are printed at the end (not combinable with
+``--stop-after-cells``).
 
 ``status`` reports per-entry cache coverage using the O(1) entry-header
 probe — no simulations, no result deserialization.
@@ -42,6 +46,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.exec import (
+    ClusterExecutor,
     ResultCache,
     StaleArtifactError,
     add_executor_options,
@@ -68,19 +73,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("error: campaign runs need --cache (resumability lives in "
               "the result cache)", file=sys.stderr)
         return 2
-    executor = executor_from_args(args)
+    if args.scheduler is not None and args.stop_after_cells is not None:
+        print("error: --stop-after-cells requires the serial/parallel "
+              "path (omit --scheduler): scheduled cells complete in "
+              "parallel workers, so a serial after-N point does not "
+              "exist", file=sys.stderr)
+        return 2
     store = ArtifactStore(args.store) if args.store else None
+    scheduler = None
     try:
-        report = run_campaign(spec, executor=executor, store=store,
-                              stop_after_cells=args.stop_after_cells)
+        if args.scheduler is not None:
+            scheduler = ClusterExecutor(shards=args.scheduler,
+                                        cache=args.cache)
+            report = run_campaign(spec, store=store, scheduler=scheduler)
+        else:
+            executor = executor_from_args(args)
+            report = run_campaign(spec, executor=executor, store=store,
+                                  stop_after_cells=args.stop_after_cells)
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}")
         return EXIT_INTERRUPTED
+    finally:
+        if scheduler is not None:
+            scheduler.close()
     for entry in report.entries:
         print(f"entry {entry.name}: {entry.cells} cell(s): "
               f"{entry.from_cache} from cache, {entry.simulated} simulated")
     print(f"campaign {report.campaign}: {report.cells} cell(s): "
           f"{report.from_cache} from cache, {report.simulated} simulated")
+    if scheduler is not None:
+        print(f"scheduler: pool spawned {scheduler.total_workers_spawned} "
+              f"process(es) for the whole campaign, served "
+              f"{scheduler.total_workers_reused} dispatch(es) from warm "
+              f"workers")
+        stages = " ".join(
+            f"{stage}={seconds * 1000.0:.0f}ms" for stage, seconds
+            in sorted(scheduler.total_stage_seconds.items()))
+        print(f"scheduler stages (campaign total): {stages}")
     if report.index_path is not None:
         print(f"published to store index {report.index_path}")
     return 0
@@ -170,6 +199,13 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
@@ -187,7 +223,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N", default=None,
                      help="exit with code 3 after N newly simulated "
                           "cells (deterministic mid-campaign kill for "
-                          "resume testing)")
+                          "resume testing; not with --scheduler)")
+    run.add_argument("--scheduler", type=_positive_int, metavar="K",
+                     default=None,
+                     help="run every entry through the streaming shard "
+                          "scheduler with K worker shards; one warm "
+                          "worker pool serves the whole campaign "
+                          "(--workers is ignored on this path)")
     run.set_defaults(func=cmd_run)
 
     status = sub.add_parser(

@@ -5,7 +5,7 @@ Subcommands::
     repro-sweep run    [--profile P | --settings-json FILE] [--shard i/K]
                        [--propagation MODEL [--propagation-param K=V ...]]
                        [--scheduler K [--max-retries N] [--inject-fault F]
-                        [--worker-timeout S] [--inject-hang F]]
+                        [--worker-timeout S] [--inject-hang F] [--no-pool]]
                        [--workers N] [--cache DIR] [--out PATH] [--quiet]
                        [--list-profiles]
     repro-sweep plan   [--profile P | --settings-json FILE] --shards K
@@ -21,12 +21,15 @@ and exits.
 
 ``run --scheduler K`` runs the whole grid through the streaming shard
 scheduler (:class:`repro.exec.ClusterExecutor`): cells already in the
-``--cache`` are served without simulating, the rest are dispatched to up
-to K worker processes, and workers that die mid-shard are rebalanced for
-up to ``--max-retries`` extra rounds.  The written artifact is a full
-``SweepResult``, byte-identical to an unsharded serial ``run``.
-``--inject-fault unit:after_cells[:round]`` deterministically kills a
-worker (testing/CI knob).
+``--cache`` are served without simulating, the rest are dispatched to a
+persistent pool of up to K worker processes (``--no-pool`` retires each
+worker after its dispatch instead), and workers that die mid-shard are
+rebalanced for up to ``--max-retries`` extra rounds onto surviving warm
+workers.  The written artifact is a full ``SweepResult``, byte-identical
+to an unsharded serial ``run``.  A per-stage wall-time breakdown
+(spawn/serialize/simulate/stream/merge/cache_write/lookup) is printed
+after the run.  ``--inject-fault unit:after_cells[:round]``
+deterministically kills a worker (testing/CI knob).
 
 A sharded sweep across K machines looks like::
 
@@ -214,9 +217,11 @@ def cmd_run_scheduler(args: argparse.Namespace,
     scheduler = ClusterExecutor(shards=args.scheduler,
                                 max_retries=max_retries,
                                 cache=args.cache, faults=faults,
-                                worker_timeout=args.worker_timeout)
+                                worker_timeout=args.worker_timeout,
+                                use_pool=not args.no_pool)
     print(f"scheduler: {total} grid cell(s) across up to "
-          f"{args.scheduler} worker shard(s)")
+          f"{args.scheduler} worker shard(s)"
+          f"{' (pool disabled)' if args.no_pool else ''}")
     started = time.time()  # repro-lint: ignore[D-wallclock] progress display only
     progress = None
     if not args.quiet:
@@ -229,7 +234,10 @@ def cmd_run_scheduler(args: argparse.Namespace,
                   f"({time.time() - started:6.1f} s elapsed)",  # repro-lint: ignore[D-wallclock] display
                   flush=True)
 
-    sweep = scheduler.run_sweep(settings, progress=progress)
+    try:
+        sweep = scheduler.run_sweep(settings, progress=progress)
+    finally:
+        scheduler.close()
     print(f"scheduler: {scheduler.cells_from_cache} cell(s) from cache, "
           f"{scheduler.cells_streamed} streamed from "
           f"{scheduler.workers_launched} worker(s) over "
@@ -237,6 +245,12 @@ def cmd_run_scheduler(args: argparse.Namespace,
           f"{scheduler.worker_failures} worker failure(s) "
           f"({scheduler.workers_timed_out} timed out), "
           f"{scheduler.temp_files_swept} orphan temp file(s) swept")
+    print(f"scheduler: pool spawned {scheduler.workers_spawned} "
+          f"process(es), served {scheduler.workers_reused} dispatch(es) "
+          f"from warm workers")
+    stages = " ".join(f"{stage}={seconds * 1000.0:.0f}ms" for stage, seconds
+                      in sorted(scheduler.stage_seconds.items()))
+    print(f"scheduler stages: {stages}")
     if args.out:
         sweep.save(args.out)
         print(f"sweep result written to {args.out}")
@@ -266,11 +280,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         return cmd_run_scheduler(args, settings)
     if (args.inject_fault or args.inject_hang
             or args.max_retries is not None
-            or args.worker_timeout is not None):
+            or args.worker_timeout is not None
+            or args.no_pool):
         # Silently ignoring these would let a CI script believe its
         # fault-injection path ran when nothing was injected.
-        print("--inject-fault/--inject-hang/--max-retries/--worker-timeout "
-              "require --scheduler", file=sys.stderr)
+        print("--inject-fault/--inject-hang/--max-retries/--worker-timeout/"
+              "--no-pool require --scheduler", file=sys.stderr)
         return 2
     shard = ShardSpec.parse(args.shard)
     executor = executor_from_args(args)
@@ -389,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "unit U in round R after C completed cells; "
                           "requires --worker-timeout (scheduler mode; "
                           "testing/CI knob; repeatable)")
+    run.add_argument("--no-pool", action="store_true",
+                     help="disable the persistent worker pool: retire "
+                          "every worker after its dispatch (scheduler "
+                          "mode; A/B measurement and CI coverage knob)")
     run.add_argument("--list-profiles", action="store_true",
                      help="list the canned grid profiles and the "
                           "registered stack components, then exit")

@@ -15,8 +15,9 @@ ablations, Table I, the example scripts — routes through an
   cache keyed by a stable hash of the config, so repeated sweeps only
   simulate cells that changed.
 * :class:`~repro.exec.scheduler.ClusterExecutor` — streaming shard
-  scheduler: cache-aware pre-filtering, worker fan-out over a JSON
-  wire, incremental shard merging, and rebalancing after mid-shard
+  scheduler: cache-aware pre-filtering, a persistent
+  :class:`~repro.exec.scheduler.WorkerPool` fed over a cell-granular
+  JSON frame wire, incremental merging, and rebalancing after mid-unit
   worker deaths; bit-for-bit identical to the serial path.
 
 Quick usage::
@@ -36,6 +37,7 @@ from repro.exec.artifact import (
 )
 from repro.exec.cache import (
     CACHE_FORMAT_VERSION,
+    PACK_FORMAT_VERSION,
     atomic_write_text,
     CacheProblem,
     CacheStats,
@@ -72,6 +74,7 @@ from repro.exec.scheduler import (
     FaultInjection,
     SchedulerError,
     ShardScheduler,
+    WorkerPool,
     partition_cells,
 )
 
@@ -85,6 +88,7 @@ __all__ = [
     "Executor",
     "FaultInjection",
     "MergeStats",
+    "PACK_FORMAT_VERSION",
     "ParallelExecutor",
     "PruneReport",
     "ResultCache",
@@ -95,6 +99,7 @@ __all__ = [
     "ShardScheduler",
     "ShardSpec",
     "SweepShard",
+    "WorkerPool",
     "add_executor_options",
     "assemble_sweep_result",
     "atomic_write_text",

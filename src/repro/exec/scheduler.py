@@ -13,23 +13,28 @@ controller would, while staying a single ~local process tree:
    hashing their cache keys — the same coordination-free split as
    :func:`~repro.exec.shard.plan_shards`, so on a cold cache the first
    round's plan is exactly the K-machine ``--shard i/K`` plan.
-3. **Dispatch & stream.**  Each unit goes to a worker process over a
-   JSON wire (settings + grid indices out, a serialized
-   :class:`~repro.exec.shard.SweepShard` back).  Workers run their cells
-   through the ordinary :meth:`Executor.run` contract against the shared
-   cache root, so every completed cell is durably cached the moment it
-   finishes — that is what makes mid-shard crashes recoverable.
-   Completed shard artifacts stream back as workers finish and are
-   merged incrementally through :class:`~repro.exec.shard.ShardMerger`
-   (the validating core of
-   :func:`~repro.exec.shard.merge_shard_results`).
-4. **Rebalance.**  When a worker dies mid-shard (crash, kill, or an
-   injected fault), its unit's results never arrive.  The scheduler
-   sweeps the dead writer's orphaned cache temp files, re-filters the
-   missing cells against the cache — cells the worker completed before
-   dying are recovered for free — and re-plans only the genuinely lost
-   cells across a fresh round of workers, up to ``max_retries`` extra
-   rounds.
+3. **Dispatch & stream.**  Units are dispatched to a persistent
+   :class:`WorkerPool`: worker processes spawn once (fork-preferred, so
+   the parent's warm imports carry over; spawn falls back to a
+   ``sys.path`` bootstrap), then survive across scheduling rounds *and*
+   across sweeps — a campaign reuses the same warm pool for every
+   entry.  The wire is cell-granular: a worker emits each completed
+   cell as its own length-prefixed JSON frame over the
+   :mod:`multiprocessing.connection` channel, and the scheduler feeds
+   :class:`~repro.exec.shard.ShardMerger` frame by frame — lower
+   memory than whole-shard artifacts, faster failure detection, and
+   byte-identical merge order (assembly is canonical regardless of
+   arrival order).  Workers batch their cache writes through
+   :meth:`ResultCache.put_many` (packed segments by default), flushing
+   every ``flush_cells`` cells and at unit end.
+4. **Rebalance.**  When a worker dies mid-unit (crash, kill, or an
+   injected fault), the cells it already streamed are kept, the
+   scheduler sweeps the dead writer's orphaned cache temp files,
+   re-filters the missing cells against the cache — cells the worker
+   flushed before dying are recovered for free — and re-plans only the
+   genuinely lost cells, up to ``max_retries`` extra rounds.
+   Rebalancing reuses surviving warm workers from the pool rather than
+   relaunching everything.
 
 The scheduled sweep is **bit-for-bit identical** to a serial
 :func:`~repro.experiments.sweep.run_speed_sweep`: every cell simulation
@@ -43,12 +48,18 @@ payloads over a different wire.
 
 Fault injection (tests / CI) is deterministic: a
 :class:`FaultInjection` names a scheduling round and work unit, and the
-worker entry point kills its own process (``os._exit``) after the given
-number of completed cells — after the cell's cache write, before the
-shard artifact is sent, exactly like a machine lost mid-shard.  A
+worker kills its own process (``os._exit``) after the given number of
+completed cells — after the cell's batched cache write is flushed,
+before that cell's frame is sent, exactly like a machine lost mid-unit
+(the scheduler recovers the flushed cell from the cache next round).  A
 ``mode="hang"`` fault instead wedges the worker (alive, no progress),
 which the per-worker ``worker_timeout`` heartbeat detects: the wedged
 process is terminated and its unit rebalanced like any other failure.
+
+Per-stage wall-time counters (``stage_seconds``: spawn / serialize /
+simulate / stream / merge / cache_write / lookup) expose where a sweep's
+time went; ``repro-sweep``/``repro-campaign`` print them and the
+orchestration bench profile records them.
 
 This module imports the sweep layer lazily inside functions (same
 circular-import idiom as :mod:`repro.exec.shard`).
@@ -61,19 +72,18 @@ import json
 import multiprocessing
 import multiprocessing.connection
 import os
+import sys
 import tempfile
 import time
 from multiprocessing.connection import Connection
 from typing import (
-    Callable, Collection, Dict, List, Optional, Sequence, Tuple,
+    Any, Callable, Collection, Dict, List, Optional, Sequence, Tuple,
     TYPE_CHECKING, Union,
 )
 
 from repro.exec.cache import ResultCache
-from repro.exec.executor import SerialExecutor
-from repro.exec.shard import (
-    ShardMerger, ShardSpec, SweepShard, shard_of_config,
-)
+from repro.exec.executor import simulate
+from repro.exec.shard import ShardMerger, shard_of_config
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.results import ScenarioResult
 
@@ -96,6 +106,21 @@ FAULT_EXIT_CODE = 73
 #: an hour; a file this old belongs to a writer that is long gone.
 STRAY_TEMP_MIN_AGE_SECONDS = 3600.0
 
+#: Completed cells a worker buffers before flushing one batched cache
+#: write (:meth:`ResultCache.put_many`).  The fault path and unit end
+#: always flush, so at most ``flush_cells - 1`` *streamed-and-merged*
+#: cells are ever pending a write — and those are already safe in the
+#: scheduler's merger.
+DEFAULT_FLUSH_CELLS = 8
+
+#: Grace period for a retiring pool worker to exit cleanly before it is
+#: terminated.
+_POOL_EXIT_TIMEOUT = 5.0
+
+#: The per-run stage wall-time counters kept by :class:`ClusterExecutor`.
+STAGE_NAMES = ("spawn", "serialize", "simulate", "stream", "merge",
+               "cache_write", "lookup")
+
 
 class SchedulerError(RuntimeError):
     """Raised when the grid cannot be completed within ``max_retries``."""
@@ -107,8 +132,8 @@ class FaultInjection:
 
     With ``mode="kill"`` (the default) the worker running work unit
     ``unit`` of scheduling round ``round`` kills its own process once
-    ``after_cells`` of its cells have completed (and been written to the
-    cache) — before the shard artifact is sent back.  With
+    ``after_cells`` of its cells have completed (and been flushed to the
+    cache) — before that cell's result frame is sent back.  With
     ``mode="hang"`` the worker instead stops making progress while
     staying alive (sleeping forever), which only a ``worker_timeout``
     can recover from — the hung-but-alive machine case.  Purely a
@@ -164,49 +189,195 @@ class FaultInjection:
 # ---------------------------------------------------------------------- #
 # worker entry point (module-level so it survives spawn start methods)
 # ---------------------------------------------------------------------- #
-def _scheduler_worker_main(conn: Connection,
-                           payload_json: str) -> None:
-    """Run one work unit: simulate its cells, send back a shard artifact.
+def _pool_worker_main(conn: Connection, src_root: str) -> None:
+    """Persistent worker loop: serve work units until told to exit.
+
+    Spawned once per pool slot.  The interpreter start and the ``repro``
+    import tree are paid here a single time (under the fork start method
+    they are inherited from the parent outright; under spawn the
+    ``src_root`` bootstrap makes the package importable), then the
+    worker idles on the duplex channel and runs every unit it is handed
+    with warm imports.  EOF on the channel or an ``{"op": "exit"}``
+    frame ends the loop; an unexpected exception kills the process,
+    which the scheduler observes as a mid-unit crash.
+    """
+    if src_root not in sys.path:  # pragma: no cover - spawn start only
+        sys.path.insert(0, src_root)
+    import repro.experiments.sweep  # noqa: F401  (preload the sweep stack)
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        payload = json.loads(raw.decode("utf-8"))
+        if payload.get("op") == "exit":
+            conn.close()
+            return
+        _run_pool_unit(conn, payload)
+
+
+def _run_pool_unit(conn: Connection, payload: Dict[str, Any]) -> None:
+    """Run one work unit: one result frame per cell, batched cache I/O.
 
     The payload carries the sweep settings, the unit's canonical grid
-    indices, the shared cache root, and the optional fault-injection
-    hook (``fail_after_cells``).  Every completed cell is written to the
-    cache *before* it counts toward the fault threshold, so an injected
-    kill leaves exactly the on-disk state of a real mid-shard crash.
+    indices, the shared cache root, the cache batching knobs
+    (``flush_cells``/``pack``), and the optional fault-injection hook.
+    Completed cells stream back immediately as individual frames;
+    cache writes are buffered and flushed through
+    :meth:`ResultCache.put_many` every ``flush_cells`` cells and at
+    unit end.  A fault flushes the batch *first* and withholds the
+    fatal cell's frame, so an injected kill leaves exactly the on-disk
+    state of a real crash-after-write — the scheduler recovers that
+    cell from the cache next round.
     """
     from repro.experiments.sweep import SweepSettings
-    payload = json.loads(payload_json)
     settings = SweepSettings.from_dict(payload["settings"])
-    indices: List[int] = [int(index) for index in payload["cells"]]
+    indices = [int(index) for index in payload["cells"]]
     fail_after = payload.get("fail_after_cells")
     fail_mode = payload.get("fail_mode", "kill")
+    flush_cells = max(1, int(payload.get("flush_cells")
+                             or DEFAULT_FLUSH_CELLS))
+    pack = bool(payload.get("pack", True))
     grid = settings.grid()
     configs = [settings.cell_config(*grid[index]) for index in indices]
-    cache = ResultCache(payload["cache_root"])
+    cache = ResultCache(str(payload["cache_root"]))
 
-    completed = [0]
+    batch: List[Tuple[ScenarioConfig, ScenarioResult]] = []
+    cache_write_s = 0.0
 
-    def progress(position: int, config: ScenarioConfig,
-                 result: ScenarioResult) -> None:
-        completed[0] += 1
-        if fail_after is not None and completed[0] >= fail_after:
+    def flush() -> None:
+        nonlocal cache_write_s
+        if not batch:
+            return
+        started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+        cache.put_many(batch, pack=pack)
+        cache_write_s += time.perf_counter() - started  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+        batch.clear()
+
+    for position, config in enumerate(configs):
+        started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+        result = simulate(config)
+        sim_s = time.perf_counter() - started  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+        batch.append((config, result))
+        if fail_after is not None and position + 1 >= int(fail_after):
+            flush()
             if fail_mode == "hang":
-                # Alive but wedged: hold the pipe open and make no
+                # Alive but wedged: hold the channel open and make no
                 # progress — only the scheduler's worker timeout can
                 # recover the round (the process is terminated then).
                 while True:
                     time.sleep(3600.0)
             conn.close()
             os._exit(FAULT_EXIT_CODE)
+        frame = json.dumps({"cell": indices[position],
+                            "result": result.to_dict(),
+                            "sim_s": sim_s}, sort_keys=True)
+        conn.send_bytes(frame.encode("utf-8"))
+        if len(batch) >= flush_cells:
+            flush()
+    flush()
+    done = json.dumps({"done": payload["unit_index"],
+                       "cache_write_s": cache_write_s}, sort_keys=True)
+    conn.send_bytes(done.encode("utf-8"))
 
-    executor = SerialExecutor(cache=cache)
-    results = executor.run(configs, progress=progress)
-    piece = SweepShard(settings=settings,
-                       shard=ShardSpec(index=payload["unit_index"],
-                                       count=payload["unit_count"]),
-                       results=dict(zip(indices, results)))
-    conn.send(piece.to_json())
-    conn.close()
+
+@dataclasses.dataclass
+class _WorkerHandle:
+    """One pooled worker: its process and the parent end of its channel."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+
+
+class WorkerPool:
+    """Persistent scheduler worker processes, reused across dispatches.
+
+    Workers run :func:`_pool_worker_main`: spawn once, import once, then
+    idle between work units.  The pool prefers the ``fork`` start method
+    (the child inherits the parent's already-imported ``repro`` tree, so
+    a spawn costs a fork instead of an interpreter start plus imports)
+    and falls back to the platform default — :func:`_pool_worker_main`
+    bootstraps ``sys.path`` for spawn-style starts.
+
+    :meth:`acquire` hands out an idle warm worker when one is alive and
+    only spawns when the pool is empty — that is what makes rebalancing
+    after a crash reuse the surviving workers, and what lets a campaign
+    run every entry against one warm pool.  ``workers_spawned`` /
+    ``workers_reused`` count those decisions for instrumentation.
+    """
+
+    def __init__(self, mp_context: Union[
+            str, multiprocessing.context.BaseContext, None] = None) -> None:
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+        elif isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._context = mp_context
+        self._idle: List[_WorkerHandle] = []
+        #: Worker processes started over this pool's lifetime.
+        self.workers_spawned = 0
+        #: Dispatches served by an already-warm worker.
+        self.workers_reused = 0
+
+    def acquire(self) -> _WorkerHandle:
+        """An alive worker: a warm idle one if possible, else a new spawn."""
+        while self._idle:
+            handle = self._idle.pop()
+            if handle.process.is_alive():
+                self.workers_reused += 1
+                return handle
+            self.discard(handle)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_pool_worker_main, args=(child_conn, src_root),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        self.workers_spawned += 1
+        return _WorkerHandle(process=process, conn=parent_conn)
+
+    def release(self, handle: _WorkerHandle) -> None:
+        """Return a worker to the idle set (dead ones are reaped)."""
+        if handle.process.is_alive():
+            self._idle.append(handle)
+        else:
+            self.discard(handle)
+
+    def discard(self, handle: _WorkerHandle) -> None:
+        """Terminate and reap a (possibly dead or wedged) worker."""
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.terminate()
+        handle.process.join()
+
+    def retire(self, handle: _WorkerHandle) -> None:
+        """Shut one worker down gracefully (exit frame, bounded join)."""
+        try:
+            handle.conn.send_bytes(b'{"op": "exit"}')
+        except (OSError, ValueError):  # pragma: no cover - racing death
+            pass
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.join(timeout=_POOL_EXIT_TIMEOUT)
+        if handle.process.is_alive():  # pragma: no cover - wedged worker
+            handle.process.terminate()
+            handle.process.join()
+
+    def close(self) -> None:
+        """Retire every idle worker (in-flight handles are not tracked)."""
+        while self._idle:
+            self.retire(self._idle.pop())
+
+    def __len__(self) -> int:
+        return len(self._idle)
 
 
 def partition_cells(settings: "SweepSettings", cells: Sequence[int],
@@ -275,12 +446,29 @@ class ClusterExecutor:
         :class:`FaultInjection` instances (tests/CI only).
     mp_context:
         Start-method name or :mod:`multiprocessing` context, as in
-        :class:`~repro.exec.executor.ParallelExecutor`.
+        :class:`~repro.exec.executor.ParallelExecutor`.  ``None`` lets
+        the :class:`WorkerPool` prefer the fork start method.
+    use_pool:
+        When ``True`` (default) workers persist across rounds and
+        across :meth:`run_sweep` calls until :meth:`close`.  When
+        ``False`` every worker is retired after its dispatch and the
+        pool is drained after each round — the relaunch-per-round
+        behaviour, kept for A/B measurement and CI coverage.
+    flush_cells / pack_cache:
+        Worker-side cache batching: completed cells are buffered and
+        written through :meth:`ResultCache.put_many` every
+        ``flush_cells`` cells (and at unit end / before an injected
+        fault), as one packed segment per batch when ``pack_cache`` is
+        true, else as loose per-cell files.
 
     Counters (reset at each :meth:`run_sweep` call) expose what happened:
     ``cells_from_cache`` (pre-filter plus post-crash recovery hits),
-    ``cells_streamed`` (arrived in shard artifacts), ``workers_launched``,
-    ``worker_failures``, ``rounds`` and ``temp_files_swept``.
+    ``cells_streamed`` (arrived as worker result frames),
+    ``workers_launched`` (units dispatched to a worker process),
+    ``workers_spawned``/``workers_reused`` (pool decisions behind those
+    dispatches), ``worker_failures``, ``rounds``, ``temp_files_swept``,
+    and the ``stage_seconds`` wall-time breakdown
+    (``total_stage_seconds`` accumulates across runs for campaigns).
     """
 
     def __init__(self, shards: int = 2,
@@ -290,7 +478,10 @@ class ClusterExecutor:
                  faults: Sequence[FaultInjection] = (),
                  worker_timeout: Optional[float] = None,
                  mp_context: Union[str, multiprocessing.context.BaseContext,
-                                   None] = None) -> None:
+                                   None] = None,
+                 use_pool: bool = True,
+                 flush_cells: int = DEFAULT_FLUSH_CELLS,
+                 pack_cache: bool = True) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if workers is not None and workers < 1:
@@ -299,6 +490,8 @@ class ClusterExecutor:
             raise ValueError("max_retries must be >= 0")
         if worker_timeout is not None and worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive")
+        if flush_cells < 1:
+            raise ValueError("flush_cells must be at least 1")
         if worker_timeout is None and any(fault.mode == "hang"
                                           for fault in faults):
             # A wedged worker is only ever recovered by the heartbeat;
@@ -315,16 +508,31 @@ class ClusterExecutor:
         if isinstance(mp_context, str):
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
+        self.use_pool = use_pool
+        self.flush_cells = flush_cells
+        self.pack_cache = pack_cache
+        self._pool: Optional[WorkerPool] = None
+        #: Per-stage wall time accumulated across every run (campaigns).
+        self.total_stage_seconds: Dict[str, float] = {
+            stage: 0.0 for stage in STAGE_NAMES}
+        #: Pool decisions accumulated across every run (campaigns); they
+        #: survive :meth:`close`, unlike the pool's own counters.
+        self.total_workers_spawned = 0
+        self.total_workers_reused = 0
         self._reset_counters()
 
     def _reset_counters(self) -> None:
         #: Cells served straight from the cache (pre-filter + recovery).
         self.cells_from_cache = 0
-        #: Cells that arrived in streamed worker shard artifacts.
+        #: Cells that arrived as streamed worker result frames.
         self.cells_streamed = 0
-        #: Worker processes started across all rounds.
+        #: Work units dispatched to a worker process across all rounds.
         self.workers_launched = 0
-        #: Workers that died before delivering their shard artifact
+        #: Worker processes the pool actually spawned this run.
+        self.workers_spawned = 0
+        #: Dispatches served by an already-warm pooled worker this run.
+        self.workers_reused = 0
+        #: Workers that died before finishing their unit
         #: (including the timed-out ones).
         self.worker_failures = 0
         #: Workers terminated for exceeding ``worker_timeout``.
@@ -333,6 +541,30 @@ class ClusterExecutor:
         self.rounds = 0
         #: Orphaned cache temp files removed after failed rounds.
         self.temp_files_swept = 0
+        #: Per-stage wall time for the current run (seconds).
+        self.stage_seconds: Dict[str, float] = {
+            stage: 0.0 for stage in STAGE_NAMES}
+
+    def _add_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] += seconds
+        self.total_stage_seconds[stage] += seconds
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self._mp_context)
+        return self._pool
+
+    def close(self) -> None:
+        """Retire all pooled workers (idempotent; safe mid-lifetime)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ClusterExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def run_sweep(self, settings: Optional["SweepSettings"] = None,
@@ -346,10 +578,29 @@ class ClusterExecutor:
         from repro.experiments.sweep import SweepSettings
         settings = settings or SweepSettings.bench()
         self._reset_counters()
-        if self.cache is not None:
-            return self._run(settings, self.cache, progress)
-        with tempfile.TemporaryDirectory(prefix="repro-scheduler-") as root:
-            return self._run(settings, ResultCache(root), progress)
+        spawned_before = reused_before = 0
+        if self._pool is not None:
+            spawned_before = self._pool.workers_spawned
+            reused_before = self._pool.workers_reused
+        try:
+            if self.cache is not None:
+                return self._run(settings, self.cache, progress)
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-scheduler-") as root:
+                return self._run(settings, ResultCache(root), progress)
+        except BaseException:
+            # A failed sweep (SchedulerError, interrupt, ...) leaves no
+            # pooled workers behind; the next run starts cleanly.
+            self.close()
+            raise
+        finally:
+            if self._pool is not None:
+                self.workers_spawned = (self._pool.workers_spawned
+                                        - spawned_before)
+                self.workers_reused = (self._pool.workers_reused
+                                       - reused_before)
+                self.total_workers_spawned += self.workers_spawned
+                self.total_workers_reused += self.workers_reused
 
     # ------------------------------------------------------------------ #
     def _run(self, settings: "SweepSettings", cache: ResultCache,
@@ -362,8 +613,11 @@ class ClusterExecutor:
         while True:
             # Cache-aware (re-)filter: round 0 is the pre-filter; later
             # rounds recover cells a dead worker completed before dying.
+            lookup_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
             hits, _misses = cache.lookup([configs[index]
                                           for index in pending])
+            self._add_stage("lookup",
+                            time.perf_counter() - lookup_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
             if hits:
                 recovered = {pending[position]: result
                              for position, result in hits.items()}
@@ -421,51 +675,91 @@ class ClusterExecutor:
                    cache: ResultCache, merger: ShardMerger,
                    progress: Optional[SweepProgress],
                    ) -> Tuple[List[int], List[int]]:
-        """Dispatch one round of work units.
+        """Dispatch one round of work units over pooled workers.
 
         Returns ``(failed unit indices, dead worker pids)``.  At most
-        ``self.workers`` processes run concurrently; completed shard
-        artifacts are merged the moment they stream back, while other
-        units are still running.
+        ``self.workers`` processes run concurrently; each completed
+        cell is merged the moment its frame streams back, while the
+        rest of the round is still running.  A frame doubles as the
+        primary liveness signal (it extends the worker's heartbeat
+        deadline); the cache probe remains the fallback for workers
+        whose completed cells were flushed but whose frames were lost.
         """
-        context = self._mp_context or multiprocessing.get_context()
+        pool = self._ensure_pool()
         faults = {fault.unit: fault for fault in self.faults
                   if fault.round == round_no}
+        serialize_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+        settings_dict = settings.to_dict()
+        self._add_stage("serialize",
+                        time.perf_counter() - serialize_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
         queued = list(enumerate(units))
-        live: Dict[object, Tuple[int, multiprocessing.Process]] = {}
-        deadlines: Dict[object, float] = {}
-        unit_cells: Dict[object, List[int]] = {}
-        cached_counts: Dict[object, int] = {}
+        live: Dict[Connection, Tuple[int, _WorkerHandle]] = {}
+        deadlines: Dict[Connection, float] = {}
+        unit_cells: Dict[Connection, List[int]] = {}
+        cached_counts: Dict[Connection, int] = {}
         failed_units: List[int] = []
         dead_pids: List[int] = []
+
+        def mark_failed(conn: Connection, timed_out: bool = False) -> None:
+            unit_index, handle = live.pop(conn)
+            deadlines.pop(conn, None)
+            pid = handle.process.pid
+            pool.discard(handle)
+            failed_units.append(unit_index)
+            if timed_out:
+                self.workers_timed_out += 1
+            if pid is not None:
+                dead_pids.append(pid)
+
         try:
             while queued or live:
                 while queued and len(live) < self.workers:
                     unit_index, cells = queued.pop(0)
                     fault = faults.get(unit_index)
+                    spawn_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                    handle = pool.acquire()
+                    self._add_stage("spawn",
+                                    time.perf_counter() - spawn_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                    serialize_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
                     payload = json.dumps({
-                        "settings": settings.to_dict(),
+                        "op": "run",
+                        "settings": settings_dict,
                         "cells": cells,
                         "cache_root": str(cache.root),
                         "unit_index": unit_index,
                         "unit_count": len(units),
+                        "flush_cells": self.flush_cells,
+                        "pack": self.pack_cache,
                         "fail_after_cells":
                             fault.after_cells if fault else None,
                         "fail_mode": fault.mode if fault else "kill",
                     }, sort_keys=True)
-                    receiver, sender = context.Pipe(duplex=False)
-                    process = context.Process(
-                        target=_scheduler_worker_main,
-                        args=(sender, payload), daemon=True)
-                    process.start()
-                    sender.close()
-                    live[receiver] = (unit_index, process)
+                    try:
+                        handle.conn.send_bytes(payload.encode("utf-8"))
+                    except (OSError, ValueError):
+                        # The warm worker died between acquire and
+                        # dispatch; count the unit failed and let the
+                        # next round re-plan it.
+                        self._add_stage(
+                            "serialize",
+                            time.perf_counter() - serialize_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                        pid = handle.process.pid
+                        pool.discard(handle)
+                        failed_units.append(unit_index)
+                        if pid is not None:
+                            dead_pids.append(pid)
+                        self.workers_launched += 1
+                        continue
+                    self._add_stage("serialize",
+                                    time.perf_counter() - serialize_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                    live[handle.conn] = (unit_index, handle)
                     if self.worker_timeout is not None:
                         started_at = time.monotonic()  # repro-lint: ignore[D-wallclock] liveness only
-                        deadlines[receiver] = started_at + self.worker_timeout
-                        unit_cells[receiver] = cells
+                        deadlines[handle.conn] = (started_at
+                                                  + self.worker_timeout)
+                        unit_cells[handle.conn] = cells
                         # Unit cells were cache misses when planned.
-                        cached_counts[receiver] = 0
+                        cached_counts[handle.conn] = 0
                     self.workers_launched += 1
                 wait_timeout = None
                 if deadlines:
@@ -473,62 +767,80 @@ class ClusterExecutor:
                     wait_timeout = max(0.0, min(deadlines.values()) - mono_now)
                 ready = multiprocessing.connection.wait(list(live),
                                                         timeout=wait_timeout)
-                for receiver in ready:
-                    unit_index, process = live.pop(receiver)
-                    deadlines.pop(receiver, None)
+                for conn_obj in ready:
+                    conn = conn_obj  # type: Connection  # wait() erases it
+                    unit_index, handle = live[conn]
+                    stream_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
                     try:
-                        artifact = receiver.recv()
+                        frame: Optional[Dict[str, Any]] = json.loads(
+                            conn.recv_bytes().decode("utf-8"))
                     except (EOFError, OSError):
-                        # EOFError: died before sending anything; OSError:
-                        # died mid-send (partial message).  Both are the
-                        # same mid-shard crash to the scheduler.
-                        artifact = None
-                    receiver.close()
-                    process.join()
-                    if artifact is None:
-                        failed_units.append(unit_index)
-                        if process.pid is not None:
-                            dead_pids.append(process.pid)
+                        # EOFError: died with nothing buffered; OSError:
+                        # died mid-frame.  Both are the same mid-unit
+                        # crash to the scheduler; cells it streamed
+                        # before dying stay merged.
+                        frame = None
+                    self._add_stage("stream",
+                                    time.perf_counter() - stream_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                    if frame is None:
+                        mark_failed(conn)
                         continue
-                    piece = SweepShard.from_json(artifact)
-                    merger.add(piece)
-                    self.cells_streamed += len(piece.results)
-                    self._report(settings, grid, piece.results, progress)
+                    if "cell" in frame:
+                        index = int(frame["cell"])
+                        result = ScenarioResult.from_dict(frame["result"])
+                        merge_started = time.perf_counter()  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                        merger.add_results({index: result})
+                        self._add_stage(
+                            "merge", time.perf_counter() - merge_started)  # repro-lint: ignore[D-wallclock] stage timing only, never a result input
+                        self._add_stage("simulate",
+                                        float(frame.get("sim_s", 0.0)))
+                        self.cells_streamed += 1
+                        if conn in deadlines:
+                            # A frame is progress; no cache probe needed.
+                            deadlines[conn] = (time.monotonic()  # repro-lint: ignore[D-wallclock] liveness only
+                                               + self.worker_timeout)
+                        self._report(settings, grid, {index: result},
+                                     progress)
+                        continue
+                    # Done frame: the unit is complete; the worker is
+                    # warm and idle again.
+                    self._add_stage("cache_write",
+                                    float(frame.get("cache_write_s", 0.0)))
+                    del live[conn]
+                    deadlines.pop(conn, None)
+                    if self.use_pool:
+                        pool.release(handle)
+                    else:
+                        pool.retire(handle)
                 # Heartbeat check.  A worker past its deadline gets one
                 # question: did new cells of its unit land in the shared
                 # cache since the last check?  If yes it is healthy but
                 # slow — extend the deadline.  If no it is alive but
                 # wedged — terminate it and let the rebalancing path
                 # treat it exactly like a crashed machine (cells it
-                # cached before wedging are recovered for free).
+                # flushed before wedging are recovered for free).
                 now = time.monotonic()  # repro-lint: ignore[D-wallclock] heartbeat deadline check
-                expired = [r for r, deadline in deadlines.items()
-                           if deadline <= now and r in live]
-                for receiver in expired:
+                expired = [c for c, deadline in deadlines.items()
+                           if deadline <= now and c in live]
+                for conn in expired:
                     # has_current() enforces the repro-version guard, so
                     # stale entries left by an older version (which made
                     # these cells pending in the first place) never
                     # count as progress — only cells this run wrote do.
                     cached = sum(
-                        1 for index in unit_cells[receiver]
+                        1 for index in unit_cells[conn]
                         if cache.has_current(configs[index]))
-                    if cached > cached_counts[receiver]:
-                        cached_counts[receiver] = cached
-                        deadlines[receiver] = now + self.worker_timeout
+                    if cached > cached_counts[conn]:
+                        cached_counts[conn] = cached
+                        deadlines[conn] = now + self.worker_timeout
                         continue
-                    unit_index, process = live.pop(receiver)
-                    del deadlines[receiver]
-                    process.terminate()
-                    process.join()
-                    receiver.close()
-                    failed_units.append(unit_index)
-                    self.workers_timed_out += 1
-                    if process.pid is not None:
-                        dead_pids.append(process.pid)
+                    mark_failed(conn, timed_out=True)
         finally:
-            for _unit_index, process in live.values():
-                process.terminate()
-                process.join()
+            for conn in list(live):
+                _unit_index, handle = live.pop(conn)
+                pool.discard(handle)
+            if not self.use_pool:
+                pool.close()
         return failed_units, dead_pids
 
     # ------------------------------------------------------------------ #

@@ -249,6 +249,28 @@ def test_run_case_measures_horizon_batch_counters():
         assert key in payload
 
 
+def test_run_case_measures_fire_group_counters():
+    """The mean_batch_size ≈ 1.0 investigation outcome: distance-dependent
+    delays give nearly every reception its own timestamp, so the *group*
+    counters are what show the batched scheduling path engaging."""
+    case = bench_profile("tiny").cases[0]
+    result = run_case(case)
+    assert result.fire_groups > 0
+    # Only multi-member pushes count as groups, so the mean is >= 2.
+    assert result.mean_group_size >= 2.0
+    assert result.fire_group_members >= 2 * result.fire_groups
+    assert result.fire_group_requeued >= 0
+    payload = result.to_dict()
+    for key in ("fire_groups", "fire_group_members", "fire_group_requeued",
+                "mean_group_size"):
+        assert key in payload
+        payload.pop(key)
+    # Pre-PR-10 artifacts lack the group counters: defaults apply.
+    vintage = BenchCaseResult.from_dict(payload)
+    assert vintage.fire_groups == 0
+    assert vintage.mean_group_size == 0.0
+
+
 def test_case_result_from_dict_is_tolerant():
     payload = synthetic_report("smoke", 1000.0).cases[0].to_dict()
     # Unknown keys from a newer writer must be dropped, not crash.

@@ -31,7 +31,12 @@ from repro.campaign import (
 from repro.cli import campaign as campaign_cli
 from repro.cli import serve as serve_cli
 from repro.cli import sweep as sweep_cli
-from repro.exec import ResultCache, StaleArtifactError
+from repro.exec import (
+    ClusterExecutor,
+    ResultCache,
+    SerialExecutor,
+    StaleArtifactError,
+)
 from repro.experiments.figures import FIGURES, render_figures
 from repro.version import __version__
 
@@ -215,6 +220,47 @@ class TestCampaignRun:
     def test_run_without_cache_is_refused(self):
         with pytest.raises(ValueError, match="needs a cache"):
             run_campaign(tiny_spec())
+
+
+class TestScheduledCampaign:
+    """PR-10: the --scheduler path runs every entry through one pooled
+    ClusterExecutor and stays byte-identical to the serial path."""
+
+    def test_scheduled_campaign_matches_serial_byte_for_byte(self,
+                                                             tmp_path):
+        spec = tiny_spec()
+        serial = run_campaign(
+            spec, executor=SerialExecutor(
+                cache=ResultCache(tmp_path / "serial-cache")))
+        with ClusterExecutor(shards=2,
+                             cache=tmp_path / "sched-cache") as scheduler:
+            scheduled = run_campaign(spec, scheduler=scheduler)
+            assert scheduler.total_workers_spawned >= 1
+        for name, sweep in serial.sweeps.items():
+            assert scheduled.sweeps[name].to_json() == sweep.to_json()
+        assert scheduled.cells == serial.cells
+        assert scheduled.simulated == serial.cells
+        # A rerun against the warm cache dispatches no workers at all.
+        with ClusterExecutor(shards=2,
+                             cache=tmp_path / "sched-cache") as scheduler:
+            replay = run_campaign(spec, scheduler=scheduler)
+            assert scheduler.total_workers_spawned == 0
+        assert replay.simulated == 0
+        assert replay.from_cache == serial.cells
+
+    def test_scheduler_is_exclusive_with_executor_and_stop_after(
+            self, tmp_path):
+        scheduler = ClusterExecutor(shards=1, cache=tmp_path / "cache")
+        with pytest.raises(ValueError, match="not both"):
+            run_campaign(tiny_spec(), executor=SerialExecutor(),
+                         scheduler=scheduler)
+        with pytest.raises(ValueError, match="stop_after_cells"):
+            run_campaign(tiny_spec(), scheduler=scheduler,
+                         stop_after_cells=1)
+
+    def test_scheduler_without_any_cache_is_refused(self):
+        with pytest.raises(ValueError, match="needs a cache"):
+            run_campaign(tiny_spec(), scheduler=ClusterExecutor(shards=1))
 
 
 @pytest.fixture(scope="module")

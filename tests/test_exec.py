@@ -375,6 +375,120 @@ class TestCacheMaintenance:
         assert path_a.read_text() == original + " "  # destination kept
 
 
+class TestPackedCache:
+    """Batched cache I/O: packed segments under ``<root>/packs/``.
+
+    The PR-10 contract: a packed entry is byte-identical to its loose
+    form and indistinguishable to every reader — same content-addressed
+    key, same version guard, same O(1) probe — while a whole batch lands
+    durably with a single fsync.
+    """
+
+    def packed_cache(self, tmp_path, tiny_result, n=3) -> ResultCache:
+        cache = ResultCache(tmp_path / "cache")
+        cache.put_many([(tiny_config(seed=seed), tiny_result)
+                        for seed in range(1, n + 1)], pack=True)
+        return cache
+
+    def test_put_many_packed_round_trip(self, tmp_path, tiny_result):
+        cache = self.packed_cache(tmp_path, tiny_result)
+        assert len(cache) == 3
+        assert cache._entry_files() == []            # nothing loose
+        assert len(cache._pack_files()) == 1         # one segment, one fsync
+        for seed in (1, 2, 3):
+            config = tiny_config(seed=seed)
+            assert config in cache
+            assert cache.has_current(config)
+            assert cache.get(config) == tiny_result
+
+    def test_put_many_loose_matches_put(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path / "cache")
+        paths = cache.put_many([(tiny_config(seed=seed), tiny_result)
+                                for seed in (1, 2)])
+        assert paths == [cache.path_for(tiny_config(seed=seed))
+                         for seed in (1, 2)]
+        assert cache._pack_files() == []
+        assert cache.put_many([]) == []
+
+    def test_packed_bytes_identical_to_loose(self, tmp_path, tiny_result):
+        config = tiny_config(seed=1)
+        loose = ResultCache(tmp_path / "loose")
+        path = loose.put(config, tiny_result)
+        packed = ResultCache(tmp_path / "packed")
+        packed.put_many([(config, tiny_result)], pack=True)
+        assert packed._entry_bytes(config_key(config)) == path.read_bytes()
+
+    def test_pack_all_unpack_all_round_trip(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path / "cache")
+        for seed in range(1, 4):
+            cache.put(tiny_config(seed=seed), tiny_result)
+        before = {path.name: path.read_bytes()
+                  for path in cache._entry_files()}
+        assert cache.pack_all(batch_size=2) == (2, 3)
+        assert cache._entry_files() == []            # loose files consumed
+        assert len(cache) == 3                       # same logical entries
+        assert cache.get(tiny_config(seed=2)) == tiny_result
+        assert cache.unpack_all() == (2, 3)
+        assert cache._pack_files() == []
+        after = {path.name: path.read_bytes()
+                 for path in cache._entry_files()}
+        assert after == before                       # byte-exact round trip
+
+    def test_corrupt_pack_header_reads_as_miss_and_is_flagged(
+            self, tmp_path, tiny_result):
+        cache = self.packed_cache(tmp_path, tiny_result, n=2)
+        cache._pack_files()[0].write_bytes(b"not a header\ngarbage")
+        assert cache.get(tiny_config(seed=1)) is None
+        assert not cache.has_current(tiny_config(seed=1))
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["corrupt"]
+        assert "pack header" in problems[0].detail
+
+    def test_corrupt_packed_entry_pruned_by_segment_rewrite(
+            self, tmp_path, tiny_result):
+        cache = self.packed_cache(tmp_path, tiny_result, n=3)
+        pack = cache._pack_files()[0]
+        # Truncate the segment: the last entry's span runs past EOF.
+        pack.write_bytes(pack.read_bytes()[:-20])
+        problems = cache.verify()
+        assert [p.kind for p in problems] == ["corrupt"]
+        assert problems[0].key is not None           # one entry, not the pack
+        report = cache.prune()
+        assert report.corrupt == 1
+        # The segment was rewritten with only its sound entries.
+        assert cache.verify() == []
+        assert len(cache) == 2
+        assert sum(1 for seed in (1, 2, 3)
+                   if cache.get(tiny_config(seed=seed)) == tiny_result) == 2
+
+    def test_stats_and_gc_over_packed_segments(self, tmp_path, tiny_result):
+        cache = self.packed_cache(tmp_path, tiny_result, n=3)
+        cache.put(tiny_config(seed=9), tiny_result)  # one loose entry too
+        stats = cache.stats()
+        assert stats.entries == 4
+        assert stats.current == 4
+        assert (stats.packs, stats.packed_entries) == (1, 3)
+        # GC ages a segment out as one unit (its entries share a batch).
+        pack = cache._pack_files()[0]
+        os.utime(pack, (time.time() - 10 * 86400,) * 2)
+        assert cache.gc(max_age_seconds=86400.0) == [pack]
+        assert len(cache) == 1
+
+    def test_merge_from_packed_source(self, tmp_path, tiny_result):
+        source = self.packed_cache(tmp_path, tiny_result, n=2)
+        dest = ResultCache(tmp_path / "dest")
+        dest.put(tiny_config(seed=1), tiny_result)   # same logical entry
+        stats = dest.merge_from(source)
+        assert (stats.copied, stats.identical, stats.conflicts) == (1, 1, 0)
+        assert dest.get(tiny_config(seed=2)) == tiny_result
+
+    def test_clear_removes_packed_entries(self, tmp_path, tiny_result):
+        cache = self.packed_cache(tmp_path, tiny_result, n=3)
+        cache.put(tiny_config(seed=9), tiny_result)
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+
 class TestHasCurrentProbe:
     """The O(1) entry-header probe behind campaign status polling.
 

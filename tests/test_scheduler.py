@@ -21,11 +21,13 @@ from repro.exec import (
     FaultInjection,
     ResultCache,
     SchedulerError,
+    ShardMerger,
     ShardScheduler,
     partition_cells,
     plan_shards,
 )
 from repro.experiments.sweep import SweepResult, SweepSettings, run_speed_sweep
+from repro.scenario.runner import run_scenario
 
 
 def tiny_settings(**overrides) -> SweepSettings:
@@ -306,3 +308,114 @@ class TestScheduledSweep:
         assert sha256(merged) == sha256(tiny_serial)
         assert cache.temp_files() == [fresh]
         assert scheduler.temp_files_swept == 2
+
+
+class TestWorkerPool:
+    """PR-10 pool criteria: spawn once, stay warm across rounds *and*
+    across :meth:`run_sweep` calls, reuse survivors when rebalancing,
+    and drain cleanly when a sweep fails."""
+
+    def test_pool_survives_across_runs(self, tmp_path, tiny_serial):
+        settings = tiny_settings()
+        with ClusterExecutor(shards=2, cache=tmp_path / "cache") as scheduler:
+            first = scheduler.run_sweep(settings)
+            assert sha256(first) == sha256(tiny_serial)
+            assert scheduler.workers_spawned == 2
+            assert scheduler.workers_reused == 0
+            # A different grid, all cache misses: every dispatch of the
+            # second run is served by a worker spawned for the first.
+            shifted = tiny_settings(base_seed=settings.base_seed + 1)
+            second = scheduler.run_sweep(shifted)
+            assert second.to_json() == run_speed_sweep(shifted).to_json()
+            assert scheduler.workers_spawned == 0
+            assert scheduler.workers_reused == 2
+            # Lifetime counters (what repro-campaign prints) accumulate.
+            assert scheduler.total_workers_spawned == 2
+            assert scheduler.total_workers_reused == 2
+
+    def test_kill_rebalance_reuses_surviving_warm_worker(self, tmp_path,
+                                                         tiny_serial):
+        settings = tiny_settings()
+        scheduler = ClusterExecutor(
+            shards=2, max_retries=2, cache=tmp_path / "cache",
+            faults=[FaultInjection(unit=0, after_cells=1)])
+        with scheduler:
+            merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(tiny_serial)
+        assert scheduler.worker_failures == 1
+        assert scheduler.rounds >= 2
+        # Round 0 spawned both workers; the rebalance round was served
+        # (at least partly) by the surviving warm worker.
+        assert scheduler.workers_reused >= 1
+        assert scheduler.workers_spawned + scheduler.workers_reused \
+            == scheduler.workers_launched
+
+    def test_hang_rebalance_reuses_surviving_warm_worker(self, tmp_path):
+        settings = tiny_settings(
+            config_overrides=dict(n_nodes=10, field_size=(500.0, 500.0),
+                                  sim_time=2.0))
+        serial = run_speed_sweep(settings)
+        scheduler = ClusterExecutor(
+            shards=2, max_retries=2, cache=tmp_path / "cache",
+            worker_timeout=5.0,
+            faults=[FaultInjection(unit=0, after_cells=1, mode="hang")])
+        with scheduler:
+            merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(serial)
+        assert scheduler.workers_timed_out == 1
+        # The wedged worker was terminated, but its round-0 sibling went
+        # back to the pool warm and served the rebalance round.
+        assert scheduler.workers_reused >= 1
+        assert scheduler.workers_spawned + scheduler.workers_reused \
+            == scheduler.workers_launched
+
+    def test_pool_drained_on_scheduler_error_then_reusable(self, tmp_path,
+                                                           tiny_serial):
+        settings = tiny_settings()
+        units = partition_cells(settings, range(len(settings.grid())), 2)
+        scheduler = ClusterExecutor(
+            shards=2, max_retries=0, cache=tmp_path / "cache",
+            faults=[FaultInjection(unit=index, after_cells=1)
+                    for index in range(len(units))])
+        with pytest.raises(SchedulerError):
+            scheduler.run_sweep(settings)
+        # The failed sweep left no warm workers behind.
+        assert scheduler._pool is None
+        # The executor itself is still usable: with the faults cleared,
+        # the next run builds a fresh pool, recovers the cells the
+        # killed workers flushed before dying, and completes bit-for-bit.
+        scheduler.faults = ()
+        merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(tiny_serial)
+        assert scheduler.workers_spawned >= 1
+        assert scheduler.cells_from_cache >= len(units)
+
+    def test_no_pool_mode_is_byte_identical_and_never_reuses(self, tmp_path,
+                                                             tiny_serial):
+        """--no-pool keeps the relaunch-per-round A/B reference path."""
+        settings = tiny_settings()
+        scheduler = ClusterExecutor(shards=2, cache=tmp_path / "cache",
+                                    use_pool=False)
+        merged = scheduler.run_sweep(settings)
+        assert sha256(merged) == sha256(tiny_serial)
+        assert scheduler.workers_spawned == 2
+        assert scheduler.workers_reused == 0
+        # Every worker was retired after its round; nothing stays warm.
+        assert len(scheduler._pool or []) == 0
+
+
+def test_streaming_merge_is_byte_identical_to_whole_shard_merge(tiny_serial):
+    """The cell-granular wire contract: feeding ShardMerger one frame at
+    a time — in an adversarial arrival order — assembles the exact bytes
+    of a whole-grid merge and of the serial sweep."""
+    settings = tiny_settings()
+    grid = settings.grid()
+    results = {index: run_scenario(settings.cell_config(*grid[index]))
+               for index in range(len(grid))}
+    whole = ShardMerger(settings)
+    whole.add_results(results)
+    streamed = ShardMerger(settings)
+    for index in sorted(results, reverse=True):
+        streamed.add_results({index: results[index]})
+    assert streamed.result().to_json() == whole.result().to_json()
+    assert streamed.result().to_json() == tiny_serial.to_json()

@@ -593,3 +593,40 @@ def test_fire_many_counts_in_heap_and_batch_stats():
     assert sim.processed_events == 2
     assert sim.horizon_batches == 1
     assert sim.max_batch_size == 2
+
+
+def test_fire_many_group_counters():
+    """fire_groups/fire_group_members count grouped *scheduling* pushes —
+    the counter pair behind BENCH mean_group_size — independently of
+    whether delivery timestamps coincide (mean_batch_size)."""
+    sim = Simulator(seed=1)
+    out = []
+    sim.schedule_fire_many([(0.1, out.append, ("a",)),
+                            (0.2, out.append, ("b",)),
+                            (0.3, out.append, ("c",))])
+    # A single-member batch takes the scalar path: no group counted.
+    sim.schedule_fire_many([(0.4, out.append, ("solo",))])
+    assert sim.fire_groups == 1
+    assert sim.fire_group_members == 3
+    assert sim.mean_group_size == pytest.approx(3.0)
+    sim.run()
+    assert out == ["a", "b", "c", "solo"]
+    # Distinct delays, nothing interleaved: the drain never bailed out.
+    assert sim.fire_group_requeued == 0
+    # Three distinct timestamps from one group: batching at scheduling
+    # time does not imply batching at delivery time.
+    assert sim.mean_batch_size == pytest.approx(1.0)
+
+
+def test_fire_many_requeue_counter_on_split_group():
+    sim = Simulator(seed=1)
+    out = []
+    sim.schedule(0.25, out.append, "between")
+    sim.schedule_fire_many([(0.1, out.append, ("m1",)),
+                            (0.2, out.append, ("m2",)),
+                            (0.3, out.append, ("m3",))])
+    sim.run()
+    assert out == ["m1", "m2", "between", "m3"]
+    # The heap event splitting the group sent its tail back to the heap.
+    assert sim.fire_group_requeued == 1
+    assert sim.mean_group_size == pytest.approx(3.0)
